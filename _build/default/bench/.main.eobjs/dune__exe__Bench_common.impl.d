@@ -1,0 +1,1 @@
+bench/bench_common.ml: Bfdn Bfdn_baselines Bfdn_sim Bfdn_trees Bfdn_util Printf

@@ -1,0 +1,1 @@
+bench/e_ablation.ml: Bench_common Bfdn Bfdn_trees Bfdn_util Env List Rng Runner

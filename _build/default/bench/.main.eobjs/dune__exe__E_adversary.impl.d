@@ -1,0 +1,1 @@
+bench/e_adversary.ml: Bench_common Bfdn Bfdn_baselines Bfdn_sim Bfdn_trees Bfdn_util Env List Rng Runner

@@ -1,0 +1,1 @@
+bench/e_alloc.ml: Array Bench_common Bfdn_alloc Bfdn_util List Rng

@@ -1,0 +1,1 @@
+bench/e_breakdown.ml: Bench_common Bfdn Bfdn_trees Bfdn_util Env Hashtbl List Printf Rng Runner

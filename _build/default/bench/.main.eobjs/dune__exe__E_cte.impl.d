@@ -1,0 +1,1 @@
+bench/e_cte.ml: Bench_common Bfdn Bfdn_baselines Bfdn_trees Bfdn_util Env List Printf Rng Runner

@@ -1,0 +1,1 @@
+bench/e_extensions.ml: Array Bench_common Bfdn Bfdn_sim Bfdn_trees Bfdn_util Env List Printf Rng Runner

@@ -1,0 +1,1 @@
+bench/e_graphs.ml: Bench_common Bfdn Bfdn_graphs Bfdn_util Float List Rng

@@ -1,0 +1,1 @@
+bench/e_lemma2.ml: Bench_common Bfdn Bfdn_trees Bfdn_util Env Float List Rng

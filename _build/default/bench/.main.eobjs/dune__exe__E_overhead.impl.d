@@ -1,0 +1,1 @@
+bench/e_overhead.ml: Bench_common Bfdn_trees Bfdn_util Env List Printf

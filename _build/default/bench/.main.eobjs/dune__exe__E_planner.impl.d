@@ -1,0 +1,1 @@
+bench/e_planner.ml: Bench_common Bfdn_trees Bfdn_util Env List Rng

@@ -1,0 +1,1 @@
+bench/e_rec.ml: Bench_common Bfdn Bfdn_trees Bfdn_util Env List Rng

@@ -1,0 +1,1 @@
+bench/e_regions.ml: Bench_common Bfdn List Printf Table

@@ -1,0 +1,1 @@
+bench/e_thm1.ml: Bench_common Bfdn_trees Bfdn_util Env Float List Printf Rng

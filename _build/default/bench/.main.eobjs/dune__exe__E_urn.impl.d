@@ -1,0 +1,1 @@
+bench/e_urn.ml: Bench_common Bfdn Bfdn_util List Rng

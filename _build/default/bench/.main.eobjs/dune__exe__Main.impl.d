@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_common E_ablation E_adversary E_alloc E_breakdown E_cte E_extensions E_graphs E_lemma2 E_overhead E_planner E_rec E_regions E_thm1 E_urn List Micro Printf String Sys

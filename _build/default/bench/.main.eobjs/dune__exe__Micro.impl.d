@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Bench_common Benchmark Bfdn Bfdn_baselines Bfdn_sim Bfdn_trees Bfdn_util Hashtbl Instance Lazy List Measure Printf Staged Test Time Toolkit

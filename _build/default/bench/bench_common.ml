@@ -1,0 +1,58 @@
+(* Shared plumbing for the experiment harness: scaling knobs, run helpers
+   and formatting shortcuts. *)
+
+module Tree = Bfdn_trees.Tree
+module Tree_gen = Bfdn_trees.Tree_gen
+module Env = Bfdn_sim.Env
+module Runner = Bfdn_sim.Runner
+module Rng = Bfdn_util.Rng
+module Table = Bfdn_util.Table
+
+type scale = Quick | Normal | Full
+
+let scale = ref Normal
+
+(* Multiply a nominal instance size by the scale factor. *)
+let sized n =
+  match !scale with Quick -> max 50 (n / 10) | Normal -> n | Full -> n * 4
+
+let seed = 20230619 (* PODC'23 *)
+
+let header id claim =
+  Printf.printf "\n=== %s — %s ===\n%!" id claim
+
+let run_to_result algo env = Runner.run algo env
+
+let run_bfdn tree k =
+  let env = Env.create tree ~k in
+  let t = Bfdn.Bfdn_algo.make env in
+  (env, t, Runner.run (Bfdn.Bfdn_algo.algo t) env)
+
+let run_planner tree k =
+  let env = Env.create tree ~k in
+  let t = Bfdn.Bfdn_planner.make env in
+  (env, t, Runner.run (Bfdn.Bfdn_planner.algo t) env)
+
+let run_cte tree k =
+  let env = Env.create tree ~k in
+  (env, Runner.run (Bfdn_baselines.Cte.make env) env)
+
+let run_offline tree k =
+  let env = Env.create tree ~k in
+  (env, Runner.run (Bfdn_baselines.Offline_split.make env) env)
+
+let run_rec tree k ell =
+  let env = Env.create tree ~k in
+  let t = Bfdn.Bfdn_rec.make ~ell env in
+  (env, t, Runner.run (Bfdn.Bfdn_rec.algo t) env)
+
+let thm1_bound env k =
+  Bfdn.Bounds.bfdn ~n:(Env.oracle_n env) ~k ~d:(Env.oracle_depth env)
+    ~delta:(Env.oracle_max_degree env)
+
+let offline_lb env k =
+  Bfdn.Bounds.offline_lb ~n:(Env.oracle_n env) ~k ~d:(Env.oracle_depth env)
+
+let describe env =
+  Printf.sprintf "n=%d D=%d Δ=%d" (Env.oracle_n env) (Env.oracle_depth env)
+    (Env.oracle_max_degree env)

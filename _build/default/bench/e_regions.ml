@@ -1,0 +1,54 @@
+(* E1 — Figure 1: regions of (n, D) where each algorithm's guarantee is
+   best, plus the Appendix A cross-check. *)
+
+open Bench_common
+module Regions = Bfdn.Regions
+
+let run () =
+  header "E1 (Figure 1)"
+    "best runtime guarantee per (n, D) region, CTE vs Yo* vs BFDN vs BFDN_l";
+  List.iter
+    (fun k ->
+      let m = Regions.compute_map ~rows:22 ~cols:70 ~k () in
+      print_string (Regions.render m))
+    [ 64; 65536 ];
+  let m = Regions.compute_map ~rows:24 ~cols:72 ~mode:Regions.Argmin ~k:1024 () in
+  Printf.printf
+    "Cross-check: numeric argmin of the four guarantee formulas agrees with\n\
+     the Appendix A closed-form CTE/BFDN boundary on %.1f%% of contested cells\n\
+     (k = 1024; boundary cells within a factor 2 accepted either way).\n"
+    (100.0 *. Regions.agreement_with_analytic m);
+  (* Appendix A boundary checks, one sample point per region. The regions
+     are defined with all constants dropped and live at doubly-exponential
+     scales, so points are given in log space. *)
+  let t =
+    Table.create
+      ~caption:
+        "Appendix A regions at sample points (log-space coordinates):"
+      [
+        ("expected region", Table.Left); ("k", Table.Right);
+        ("ln n", Table.Right); ("ln D", Table.Right); ("analytic", Table.Left);
+        ("ok", Table.Left);
+      ]
+  in
+  List.iter
+    (fun (expected, k, ln_n, ln_d) ->
+      let got = Regions.analytic_winner ~n:(exp ln_n) ~k ~d:(exp ln_d) in
+      Table.add_row t
+        [
+          Regions.name expected; Table.fint k;
+          Table.ffloat ~decimals:1 ln_n; Table.ffloat ~decimals:1 ln_d;
+          Regions.name got; Table.fbool (got = expected);
+        ])
+    [
+      (* BFDN: wide and shallow — k D^2 <= n/k and D^2 log^2 k <= n. *)
+      (Regions.Bfdn, 1024, 20.0, 1.0);
+      (* CTE: deeper than e^(log^2 k) at small k. *)
+      (Regions.Cte, 8, 10.0, 8.0);
+      (* Yo*: moderate n, large D relative to the BFDN boundary. *)
+      (Regions.Yostar, 1024, 10.0, 7.0);
+      (* BFDN_l: the wedge n/k^(1/l) < D^2, D < n^(l/(l+1))/(k log^2 k);
+         requires k^(1/l) > log^2 k, hence very large n. *)
+      (Regions.Bfdn_rec, 65536, 85.0, 40.0);
+    ];
+  Table.print t

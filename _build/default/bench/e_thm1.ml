@@ -1,0 +1,52 @@
+(* E2 — Theorem 1: BFDN completes in at most
+   2n/k + D^2 (min(log k, log Δ) + 3) rounds, on every instance family. *)
+
+open Bench_common
+module Table = Bfdn_util.Table
+
+let run () =
+  header "E2 (Theorem 1)"
+    "BFDN rounds vs the 2n/k + D^2(min(log k, log Δ)+3) guarantee";
+  let t =
+    Table.create
+      ~caption:
+        "rounds always <= bound (a violation would falsify Theorem 1);\n\
+         lb = offline lower bound max(2n/k, 2D)."
+      [
+        ("family", Table.Left); ("n", Table.Right); ("D", Table.Right);
+        ("Δ", Table.Right); ("k", Table.Right); ("rounds", Table.Right);
+        ("bound", Table.Right); ("rounds/bound", Table.Right);
+        ("rounds/lb", Table.Right); ("ok", Table.Left);
+      ]
+  in
+  let worst = ref 0.0 in
+  List.iter
+    (fun fam ->
+      let tree =
+        Bfdn_trees.Tree_gen.of_family fam
+          ~rng:(Rng.create seed)
+          ~n:(sized 5000) ~depth_hint:40
+      in
+      List.iter
+        (fun k ->
+          let env, _, r = run_bfdn tree k in
+          let bound = thm1_bound env k in
+          let ratio = float_of_int r.rounds /. bound in
+          worst := Float.max !worst ratio;
+          Table.add_row t
+            [
+              fam;
+              Table.fint (Env.oracle_n env);
+              Table.fint (Env.oracle_depth env);
+              Table.fint (Env.oracle_max_degree env);
+              Table.fint k;
+              Table.fint r.rounds;
+              Table.ffloat ~decimals:0 bound;
+              Table.fratio ratio;
+              Table.fratio (float_of_int r.rounds /. offline_lb env k);
+              Table.fbool (r.explored && r.at_root && ratio <= 1.0);
+            ])
+        [ 1; 8; 64; 512 ])
+    Bfdn_trees.Tree_gen.families;
+  Table.print t;
+  Printf.printf "worst rounds/bound ratio: %.3f (paper predicts <= 1)\n" !worst

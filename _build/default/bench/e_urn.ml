@@ -1,0 +1,49 @@
+(* E3 — Theorem 3: the balls-in-urns game ends within
+   k min(log Δ, log k) + 2k steps under the least-loaded strategy;
+   the greedy adversary realizes the exact optimum (R(N, u) DP). *)
+
+open Bench_common
+module Urn_game = Bfdn.Urn_game
+module Table = Bfdn_util.Table
+
+let play ~delta ~k adversary =
+  Urn_game.play (Urn_game.create ~delta ~k) adversary Urn_game.player_least_loaded
+
+let run () =
+  header "E3 (Theorem 3)" "urn-game length vs k·min(log Δ, log k) + 2k";
+  let t =
+    Table.create
+      ~caption:
+        "greedy realizes the optimal adversary (= DP value); all adversaries\n\
+         stay within the Theorem 3 bound."
+      [
+        ("k", Table.Right); ("Δ", Table.Right); ("greedy", Table.Right);
+        ("DP optimum", Table.Right); ("fresh-first", Table.Right);
+        ("random", Table.Right); ("bound", Table.Right);
+        ("greedy/bound", Table.Right); ("ok", Table.Left);
+      ]
+  in
+  List.iter
+    (fun (k, delta) ->
+      let greedy = play ~delta ~k Urn_game.adversary_greedy in
+      let dp = Urn_game.dp_value ~delta ~k in
+      let fresh = play ~delta ~k Urn_game.adversary_fresh_first in
+      let rnd = play ~delta ~k (Urn_game.adversary_random (Rng.create seed)) in
+      let bound = Urn_game.bound ~delta ~k in
+      Table.add_row t
+        [
+          Table.fint k; Table.fint delta; Table.fint greedy; Table.fint dp;
+          Table.fint fresh; Table.fint rnd;
+          Table.ffloat ~decimals:0 bound;
+          Table.fratio (float_of_int greedy /. bound);
+          Table.fbool
+            (greedy = dp
+            && float_of_int greedy <= bound
+            && float_of_int fresh <= bound
+            && float_of_int rnd <= bound);
+        ])
+    [
+      (4, 4); (16, 16); (64, 64); (256, 256); (1024, 1024); (4096, 4096);
+      (1024, 16); (1024, 4); (64, 100000);
+    ];
+  Table.print t

@@ -1,0 +1,52 @@
+(* Experiment harness: regenerates every figure and quantitative claim of
+   the paper (E1–E10), the design-choice ablations (A1) and the Bechamel
+   micro-benchmarks (B1–B6). See EXPERIMENTS.md for the index.
+
+   Usage: dune exec bench/main.exe -- [--quick|--full] [--no-micro]
+          [--only E1,E3,...] *)
+
+let experiments =
+  [
+    ("E1", E_regions.run);
+    ("E2", E_thm1.run);
+    ("E3", E_urn.run);
+    ("E4", E_lemma2.run);
+    ("E5", E_planner.run);
+    ("E6", E_breakdown.run);
+    ("E7", E_graphs.run);
+    ("E8", E_rec.run);
+    ("E9", E_cte.run);
+    ("E10", E_alloc.run);
+    ("E11", E_adversary.run);
+    ("E12", E_overhead.run);
+    ("E13+E14", E_extensions.run);
+    ("A1", E_ablation.run);
+  ]
+
+let () =
+  let only = ref None in
+  let micro = ref true in
+  let args = List.tl (Array.to_list Sys.argv) in
+  List.iter
+    (fun arg ->
+      match arg with
+      | "--quick" -> Bench_common.scale := Bench_common.Quick
+      | "--full" -> Bench_common.scale := Bench_common.Full
+      | "--no-micro" -> micro := false
+      | _ when String.length arg > 7 && String.sub arg 0 7 = "--only=" ->
+          only :=
+            Some
+              (String.split_on_char ','
+                 (String.sub arg 7 (String.length arg - 7)))
+      | _ ->
+          Printf.eprintf
+            "unknown argument %s\n\
+             usage: main.exe [--quick|--full] [--no-micro] [--only=E1,E2,...]\n"
+            arg;
+          exit 2)
+    args;
+  let wanted id = match !only with None -> true | Some ids -> List.mem id ids in
+  print_endline
+    "BFDN reproduction harness — Cosson, Massoulié, Viennot (PODC'23 / full version)";
+  List.iter (fun (id, run) -> if wanted id then run ()) experiments;
+  if !micro && wanted "B" then Micro.run ()

@@ -1,0 +1,286 @@
+(* bfdn-explore: command-line driver for the collaborative-exploration
+   library. Subcommands:
+
+   run      explore a generated tree with a chosen algorithm
+   game     play the Section 3 balls-in-urns game
+   regions  print the Figure 1 region map
+   grid     sweep a warehouse grid with graph-BFDN *)
+
+open Cmdliner
+module Tree_gen = Bfdn_trees.Tree_gen
+module Env = Bfdn_sim.Env
+module Runner = Bfdn_sim.Runner
+module Rng = Bfdn_util.Rng
+
+(* ---- shared arguments ---- *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let k_arg =
+  Arg.(value & opt int 8 & info [ "k"; "robots" ] ~docv:"K" ~doc:"Number of robots.")
+
+(* ---- run ---- *)
+
+let algos = [ "bfdn"; "bfdn-wr"; "bfdn-rec"; "cte"; "dfs"; "offline"; "random-walk" ]
+
+let run_cmd =
+  let family =
+    Arg.(
+      value
+      & opt (enum (List.map (fun f -> (f, f)) Tree_gen.families)) "random"
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:
+            (Printf.sprintf "Tree family: %s." (String.concat ", " Tree_gen.families)))
+  in
+  let algo_name =
+    Arg.(
+      value
+      & opt (enum (List.map (fun a -> (a, a)) algos)) "bfdn"
+      & info [ "algo" ] ~docv:"ALGO"
+          ~doc:(Printf.sprintf "Algorithm: %s." (String.concat ", " algos)))
+  in
+  let n = Arg.(value & opt int 5000 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Target node count.") in
+  let depth =
+    Arg.(value & opt int 20 & info [ "depth" ] ~docv:"D" ~doc:"Depth hint for the generator.")
+  in
+  let ell = Arg.(value & opt int 2 & info [ "ell" ] ~docv:"L" ~doc:"Recursion level for bfdn-rec.") in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the discovered tree after every round (small trees only).")
+  in
+  let tree_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tree-file" ] ~docv:"FILE"
+          ~doc:"Load the instance from a file written by --dump-tree instead of generating one.")
+  in
+  let dump_tree =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-tree" ] ~docv:"FILE" ~doc:"Write the instance to a file for later replay.")
+  in
+  let action family algo_name n depth k ell seed trace tree_file dump_tree =
+    let rng = Rng.create seed in
+    let tree =
+      match tree_file with
+      | Some file ->
+          let ic = open_in file in
+          let contents = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          Bfdn_trees.Tree.of_string (String.trim contents)
+      | None -> Tree_gen.of_family family ~rng ~n ~depth_hint:depth
+    in
+    (match dump_tree with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Bfdn_trees.Tree.to_string tree);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "instance written to %s\n" file
+    | None -> ());
+    let env = Env.create tree ~k in
+    let algo =
+      match algo_name with
+      | "bfdn" -> Bfdn.Bfdn_algo.algo (Bfdn.Bfdn_algo.make env)
+      | "bfdn-wr" -> Bfdn.Bfdn_planner.algo (Bfdn.Bfdn_planner.make env)
+      | "bfdn-rec" -> Bfdn.Bfdn_rec.algo (Bfdn.Bfdn_rec.make ~ell env)
+      | "cte" -> Bfdn_baselines.Cte.make env
+      | "dfs" -> Bfdn_baselines.Dfs_single.make env
+      | "offline" -> Bfdn_baselines.Offline_split.make env
+      | "random-walk" -> Bfdn_baselines.Random_walk.make ~rng env
+      | _ -> assert false
+    in
+    let on_round env =
+      if trace then begin
+        print_newline ();
+        print_string (Bfdn_sim.Trace.render_frame env)
+      end
+    in
+    let result = Runner.run ~on_round algo env in
+    let nn = Env.oracle_n env and d = Env.oracle_depth env in
+    let delta = Env.oracle_max_degree env in
+    Printf.printf "tree: n=%d D=%d Δ=%d (family %s, seed %d)\n" nn d delta family seed;
+    Format.printf "%s with k=%d: %a@." algo_name k Runner.pp_result result;
+    Printf.printf "offline lower bound : %.0f\n" (Bfdn.Bounds.offline_lb ~n:nn ~k ~d);
+    Printf.printf "Theorem 1 guarantee : %.0f\n" (Bfdn.Bounds.bfdn ~n:nn ~k ~d ~delta);
+    Printf.printf "CTE comparison bound: %.0f\n" (Bfdn.Bounds.cte ~n:nn ~k ~d);
+    if result.hit_round_limit then exit 1
+  in
+  let term =
+    Term.(
+      const action $ family $ algo_name $ n $ depth $ k_arg $ ell $ seed_arg
+      $ trace $ tree_file $ dump_tree)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Explore a generated tree with a chosen algorithm.") term
+
+(* ---- game ---- *)
+
+let game_cmd =
+  let delta =
+    Arg.(value & opt int 0 & info [ "delta" ] ~docv:"DELTA" ~doc:"Urn threshold Δ (default: k).")
+  in
+  let adversaries = [ "greedy"; "fresh-first"; "random" ] in
+  let adversary =
+    Arg.(
+      value
+      & opt (enum (List.map (fun a -> (a, a)) adversaries)) "greedy"
+      & info [ "adversary" ] ~docv:"ADV"
+          ~doc:(Printf.sprintf "Adversary: %s." (String.concat ", " adversaries)))
+  in
+  let action k delta adversary seed =
+    let module U = Bfdn.Urn_game in
+    let delta = if delta <= 0 then k else delta in
+    let adv =
+      match adversary with
+      | "greedy" -> U.adversary_greedy
+      | "fresh-first" -> U.adversary_fresh_first
+      | "random" -> U.adversary_random (Rng.create seed)
+      | _ -> assert false
+    in
+    let steps = U.play (U.create ~delta ~k) adv U.player_least_loaded in
+    Printf.printf "k=%d Δ=%d adversary=%s: game over after %d steps\n" k delta adversary steps;
+    Printf.printf "optimal adversary (DP): %d steps\n" (U.dp_value ~delta ~k);
+    Printf.printf "Theorem 3 bound       : %.0f steps\n" (U.bound ~delta ~k)
+  in
+  let term = Term.(const action $ k_arg $ delta $ adversary $ seed_arg) in
+  Cmd.v (Cmd.info "game" ~doc:"Play the Section 3 balls-in-urns game.") term
+
+(* ---- regions ---- *)
+
+let regions_cmd =
+  let rows = Arg.(value & opt int 24 & info [ "rows" ] ~docv:"ROWS" ~doc:"Map height.") in
+  let cols = Arg.(value & opt int 72 & info [ "cols" ] ~docv:"COLS" ~doc:"Map width.") in
+  let argmin =
+    Arg.(value & flag & info [ "argmin" ] ~doc:"Use the concrete guarantee formulas instead of the Appendix A regions.")
+  in
+  let action k rows cols argmin =
+    let mode = if argmin then Bfdn.Regions.Argmin else Bfdn.Regions.Analytic in
+    print_string (Bfdn.Regions.render (Bfdn.Regions.compute_map ~rows ~cols ~mode ~k ()))
+  in
+  let term = Term.(const action $ k_arg $ rows $ cols $ argmin) in
+  Cmd.v (Cmd.info "regions" ~doc:"Print the Figure 1 best-guarantee region map.") term
+
+(* ---- bounds ---- *)
+
+let bounds_cmd =
+  let n = Arg.(value & opt int 100000 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Node count.") in
+  let d = Arg.(value & opt int 50 & info [ "depth" ] ~docv:"D" ~doc:"Tree depth.") in
+  let delta = Arg.(value & opt int 0 & info [ "delta" ] ~docv:"DELTA" ~doc:"Max degree (default: k).") in
+  let action k n d delta =
+    let delta = if delta <= 0 then k else delta in
+    let module B = Bfdn.Bounds in
+    let t =
+      Bfdn_util.Table.create
+        ~caption:(Printf.sprintf "Runtime guarantees at n=%d, D=%d, k=%d, Δ=%d:" n d k delta)
+        [ ("algorithm", Bfdn_util.Table.Left); ("bound (rounds)", Bfdn_util.Table.Right) ]
+    in
+    let row name v = Bfdn_util.Table.add_row t [ name; Bfdn_util.Table.ffloat ~decimals:0 v ] in
+    row "offline lower bound" (B.offline_lb ~n ~k ~d);
+    row "offline split 2(n/k+D)" (B.offline_split ~n ~k ~d);
+    row "single-robot DFS" (B.dfs ~n);
+    row "CTE [10] (n/log2 k + D)" (B.cte ~n ~k ~d);
+    row "Yo* [13]" (B.yostar ~n ~k ~d);
+    row "BFDN (Theorem 1)" (B.bfdn ~n ~k ~d ~delta);
+    row "BFDN break-downs (Prop 7)" (B.bfdn_breakdown ~n ~k ~d);
+    let v, ell = B.bfdn_rec_best ~n ~k ~d ~delta in
+    row (Printf.sprintf "BFDN_l (Thm 10, best l=%d)" ell) v;
+    Bfdn_util.Table.print t;
+    let w, value = Bfdn.Regions.winner ~n ~k ~d ~delta in
+    Printf.printf "best guarantee: %s (%.0f rounds)\n" (Bfdn.Regions.name w) value
+  in
+  let term = Term.(const action $ k_arg $ n $ d $ delta) in
+  Cmd.v (Cmd.info "bounds" ~doc:"Print every guarantee formula for an instance shape.") term
+
+(* ---- adversary ---- *)
+
+let adversary_cmd =
+  let module Adversary = Bfdn_sim.Adversary in
+  let policies = [ "thick-comb"; "corridor"; "bomb"; "miser"; "random" ] in
+  let policy_name =
+    Arg.(
+      value
+      & opt (enum (List.map (fun p -> (p, p)) policies)) "thick-comb"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:(Printf.sprintf "Adversary policy: %s." (String.concat ", " policies)))
+  in
+  let algo_name =
+    Arg.(
+      value
+      & opt (enum [ ("bfdn", "bfdn"); ("cte", "cte") ]) "bfdn"
+      & info [ "algo" ] ~docv:"ALGO" ~doc:"Explorer: bfdn or cte.")
+  in
+  let capacity =
+    Arg.(value & opt int 3000 & info [ "capacity" ] ~docv:"N" ~doc:"Node budget.")
+  in
+  let depth_budget =
+    Arg.(value & opt int 200 & info [ "depth-budget" ] ~docv:"D" ~doc:"Depth budget.")
+  in
+  let action k policy_name algo_name capacity depth_budget seed =
+    let adv =
+      match policy_name with
+      | "thick-comb" -> Adversary.make_rec ~capacity ~depth_budget Adversary.thick_comb
+      | "corridor" ->
+          Adversary.make ~capacity ~depth_budget (Adversary.corridor_crowds ~threshold:2)
+      | "bomb" -> Adversary.make ~capacity ~depth_budget Adversary.greedy_widest
+      | "miser" -> Adversary.make ~capacity ~depth_budget Adversary.miser
+      | "random" ->
+          Adversary.make ~capacity ~depth_budget
+            (Adversary.random_policy (Rng.create seed) ~max_children:3)
+      | _ -> assert false
+    in
+    let env = Env.of_world (Adversary.world adv) ~k in
+    let make_algo env =
+      if algo_name = "bfdn" then Bfdn.Bfdn_algo.algo (Bfdn.Bfdn_algo.make env)
+      else Bfdn_baselines.Cte.make env
+    in
+    let r = Runner.run (make_algo env) env in
+    let tree = Adversary.frozen adv in
+    let stats = Bfdn_trees.Tree_stats.compute tree in
+    Format.printf "%s vs %s adversary: %a@." algo_name policy_name Runner.pp_result r;
+    Format.printf "frozen instance: %a@." Bfdn_trees.Tree_stats.pp stats;
+    Printf.printf "offline lower bound: %.0f (ratio %.2f)\n"
+      (Bfdn.Bounds.offline_lb ~n:stats.n ~k ~d:(max 1 stats.depth))
+      (float_of_int r.rounds
+      /. Bfdn.Bounds.offline_lb ~n:stats.n ~k ~d:(max 1 stats.depth))
+  in
+  let term =
+    Term.(const action $ k_arg $ policy_name $ algo_name $ capacity $ depth_budget $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "adversary" ~doc:"Grow a tree adaptively against the explorer, then report.")
+    term
+
+(* ---- grid ---- *)
+
+let grid_cmd =
+  let width = Arg.(value & opt int 30 & info [ "width" ] ~docv:"W" ~doc:"Grid width.") in
+  let height = Arg.(value & opt int 12 & info [ "height" ] ~docv:"H" ~doc:"Grid height.") in
+  let obstacles =
+    Arg.(value & opt int 10 & info [ "obstacles" ] ~docv:"COUNT" ~doc:"Number of random rectangular obstacles.")
+  in
+  let action k width height obstacles seed =
+    let module Grid = Bfdn_graphs.Grid in
+    let module Genv = Bfdn_graphs.Graph_env in
+    let rng = Rng.create seed in
+    let spec = Grid.random_spec ~rng ~width ~height ~obstacle_count:obstacles ~max_side:(max 2 (width / 7)) in
+    let grid = Grid.make spec in
+    print_string (Grid.render grid);
+    let g = Grid.graph grid in
+    let env = Genv.create g ~origin:(Grid.origin grid) ~k in
+    let r = Bfdn.Bfdn_graph.run (Bfdn.Bfdn_graph.make env) in
+    Printf.printf
+      "k=%d: %d edges traversed in %d rounds (%d closed); bound %.0f; home=%b\n" k
+      (Genv.traversed_edges env) r.rounds r.closed_edges
+      (Bfdn.Bounds.bfdn_graph ~n_edges:(Genv.oracle_n_edges env) ~k
+         ~d:(Genv.oracle_radius env) ~delta:(Genv.oracle_max_degree env))
+      r.at_origin
+  in
+  let term = Term.(const action $ k_arg $ width $ height $ obstacles $ seed_arg) in
+  Cmd.v (Cmd.info "grid" ~doc:"Sweep a warehouse grid with graph-BFDN.") term
+
+let () =
+  let doc = "Collaborative tree exploration with Breadth-First Depth-Next (BFDN)." in
+  let info = Cmd.info "bfdn-explore" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; game_cmd; regions_cmd; grid_cmd; adversary_cmd; bounds_cmd ]))

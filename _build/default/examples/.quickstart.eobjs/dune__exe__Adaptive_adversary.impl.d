@@ -1,0 +1,1 @@
+examples/adaptive_adversary.ml: Bfdn Bfdn_baselines Bfdn_sim Bfdn_trees List Printf

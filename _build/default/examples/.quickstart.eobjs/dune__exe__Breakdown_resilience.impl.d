@@ -1,0 +1,1 @@
+examples/breakdown_resilience.ml: Bfdn Bfdn_sim Bfdn_trees Bfdn_util Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+examples/breakdown_resilience.mli:

@@ -1,0 +1,1 @@
+examples/depth_next_animation.ml: Bfdn Bfdn_sim Bfdn_trees Printf

@@ -1,0 +1,1 @@
+examples/heterogeneous_fleet.ml: Array Bfdn Bfdn_sim Bfdn_trees Bfdn_util Format Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bfdn Bfdn_sim Bfdn_trees Bfdn_util Format List Printf

@@ -1,0 +1,1 @@
+examples/task_allocation.ml: Array Bfdn_alloc Bfdn_util List Printf

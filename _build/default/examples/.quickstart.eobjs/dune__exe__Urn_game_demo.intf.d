@@ -1,0 +1,1 @@
+examples/urn_game_demo.mli:

@@ -1,0 +1,1 @@
+examples/warehouse_sweep.ml: Bfdn Bfdn_graphs Bfdn_util List Printf

@@ -1,0 +1,39 @@
+(* Heterogeneous fleet in continuous time (Remark 8's relaxation): a few
+   fast scouts and a crowd of slow carriers explore together. Moves take
+   1/speed time units; decisions are event-driven.
+
+   Run with: dune exec examples/heterogeneous_fleet.exe *)
+
+module Aenv = Bfdn_sim.Async_env
+module Tree_gen = Bfdn_trees.Tree_gen
+module Trace = Bfdn_sim.Trace
+module Rng = Bfdn_util.Rng
+
+let sweep tree name speeds =
+  let k = Array.length speeds in
+  let env = Aenv.create ~speeds tree ~k in
+  let t = Bfdn.Bfdn_async.make env in
+  Aenv.run (Bfdn.Bfdn_async.decide t) env;
+  let total_speed = Array.fold_left ( +. ) 0.0 speeds in
+  let work_lb = 2.0 *. float_of_int (Bfdn_trees.Tree.n tree - 1) /. total_speed in
+  Printf.printf
+    "%-28s k=%-3d Σspeed=%5.1f  makespan=%8.1f  work-lb=%7.1f  efficiency=%3.0f%%  home=%b\n"
+    name k total_speed (Aenv.makespan env) work_lb
+    (100.0 *. work_lb /. Aenv.makespan env)
+    (Aenv.all_at_root env)
+
+let () =
+  let tree = Tree_gen.random_tree ~rng:(Rng.create 77) ~n:8000 () in
+  let stats = Bfdn_trees.Tree_stats.compute tree in
+  Format.printf "Continuous-time exploration of %a@.@." Bfdn_trees.Tree_stats.pp stats;
+  sweep tree "16 robots at speed 1" (Array.make 16 1.0);
+  sweep tree "8 at speed 2 (same budget)" (Array.make 8 2.0);
+  sweep tree "32 at speed 0.5 (same)" (Array.make 32 0.5);
+  sweep tree "2 scouts 4x + 14 at 1x" (Array.init 16 (fun i -> if i < 2 then 4.0 else 1.0));
+  sweep tree "15 at 1x + 1 straggler .05x"
+    (Array.init 16 (fun i -> if i = 15 then 0.05 else 1.0));
+  print_newline ();
+  print_endline
+    "Same total speed budget: few-and-fast beats many-and-slow (less anchor\n\
+     travel is wasted), and a single straggler barely hurts — BFDN never\n\
+     waits for anyone: slow robots simply contribute fewer subtrees."

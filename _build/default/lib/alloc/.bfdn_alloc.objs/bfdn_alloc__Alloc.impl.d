@@ -1,0 +1,1 @@
+lib/alloc/alloc.ml: Array Bfdn_util

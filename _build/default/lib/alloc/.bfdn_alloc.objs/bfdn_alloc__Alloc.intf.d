@@ -1,0 +1,1 @@
+lib/alloc/alloc.mli: Bfdn_util

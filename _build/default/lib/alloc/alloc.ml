@@ -1,0 +1,96 @@
+module Rng = Bfdn_util.Rng
+
+type policy = Least_crowded | Most_crowded | Random_task of Rng.t
+
+type result = { rounds : int; switches : int; wasted_work : int }
+
+let pick_task policy remaining workers =
+  let k = Array.length remaining in
+  match policy with
+  | Least_crowded ->
+      let best = ref (-1) in
+      for i = 0 to k - 1 do
+        if remaining.(i) > 0 && (!best < 0 || workers.(i) < workers.(!best)) then
+          best := i
+      done;
+      !best
+  | Most_crowded ->
+      let best = ref (-1) in
+      for i = 0 to k - 1 do
+        if remaining.(i) > 0 && (!best < 0 || workers.(i) > workers.(!best)) then
+          best := i
+      done;
+      !best
+  | Random_task rng ->
+      let unfinished = ref [] in
+      Array.iteri (fun i r -> if r > 0 then unfinished := i :: !unfinished) remaining;
+      (match !unfinished with
+      | [] -> -1
+      | xs -> Rng.pick rng (Array.of_list xs))
+
+let simulate ?(policy = Least_crowded) ~lengths () =
+  let k = Array.length lengths in
+  if k = 0 then invalid_arg "Alloc.simulate: no tasks";
+  if Array.exists (fun l -> l < 0) lengths then
+    invalid_arg "Alloc.simulate: negative task length";
+  let remaining = Array.copy lengths in
+  let workers = Array.make k 1 in
+  let rounds = ref 0 in
+  let switches = ref 0 in
+  let wasted = ref 0 in
+  let reassign_finished () =
+    for i = 0 to k - 1 do
+      if remaining.(i) = 0 && workers.(i) > 0 then begin
+        let freed = workers.(i) in
+        workers.(i) <- 0;
+        for _ = 1 to freed do
+          match pick_task policy remaining workers with
+          | -1 -> () (* everything done: workers retire *)
+          | j ->
+              workers.(j) <- workers.(j) + 1;
+              incr switches
+        done
+      end
+    done
+  in
+  reassign_finished ();
+  while Array.exists (fun r -> r > 0) remaining do
+    incr rounds;
+    for i = 0 to k - 1 do
+      if remaining.(i) > 0 then begin
+        let done_now = min workers.(i) remaining.(i) in
+        wasted := !wasted + (workers.(i) - done_now);
+        remaining.(i) <- remaining.(i) - done_now
+      end
+      else (* task already finished: its (zero) workers cost nothing *)
+        ()
+    done;
+    reassign_finished ()
+  done;
+  { rounds = !rounds; switches = !switches; wasted_work = !wasted }
+
+let switches_bound ~k =
+  let kf = float_of_int k in
+  (kf *. log kf) +. (2.0 *. kf)
+
+let random_lengths ~rng ~k ~total =
+  if k < 1 then invalid_arg "Alloc.random_lengths: k must be >= 1";
+  if total < 0 then invalid_arg "Alloc.random_lengths: negative total";
+  let lengths = Array.make k 0 in
+  for _ = 1 to total do
+    let i = Rng.int rng k in
+    lengths.(i) <- lengths.(i) + 1
+  done;
+  lengths
+
+let adversarial_lengths ~k ~total =
+  if k < 1 then invalid_arg "Alloc.adversarial_lengths: k must be >= 1";
+  let lengths = Array.make k 0 in
+  let rest = ref total in
+  for i = 0 to k - 2 do
+    let part = !rest / 2 in
+    lengths.(i) <- part;
+    rest := !rest - part
+  done;
+  lengths.(k - 1) <- !rest;
+  lengths

@@ -1,0 +1,46 @@
+(** Online resource allocation under unknown task lengths — the immediate
+    application of the urn game (Section 3, "Interpretation of the game").
+
+    [k] workers process [k] perfectly parallelizable tasks whose total
+    work amounts are unknown in advance. Work proceeds in rounds: each of
+    the [w] workers assigned to a task removes one work unit per round
+    (the last units of a task may be taken in the same round by several
+    workers; surplus effort is wasted, as with robots sharing a subtree).
+    When a task finishes, its workers become idle one per round and must
+    be re-assigned online.
+
+    Reassigning each idle worker to the {e unfinished task with the
+    fewest workers} (the urn-game player strategy) guarantees at most
+    [k log k + 2k] reassignments in total — a [(log k + 2)] factor off
+    the trivial [k] lower bound — irrespective of the task lengths
+    (Theorem 3 with [delta >= k]). *)
+
+type policy =
+  | Least_crowded  (** the paper's strategy *)
+  | Most_crowded  (** anti-strategy baseline *)
+  | Random_task of Bfdn_util.Rng.t
+
+type result = {
+  rounds : int;  (** makespan: rounds until all tasks finished *)
+  switches : int;  (** total reassignments performed *)
+  wasted_work : int;  (** worker-rounds spent idle or redundant *)
+}
+
+val simulate : ?policy:policy -> lengths:int array -> unit -> result
+(** [simulate ~lengths ()] runs [k = Array.length lengths] workers over tasks
+    with the given work amounts (each starts with exactly one worker, as
+    in the game).
+    @raise Invalid_argument on empty or negative input. *)
+
+val switches_bound : k:int -> float
+(** [k log k + 2k]. *)
+
+val random_lengths :
+  rng:Bfdn_util.Rng.t -> k:int -> total:int -> int array
+(** A uniformly random composition of [total] work units into [k] tasks
+    (some may be zero — instantly finished tasks stress the strategy). *)
+
+val adversarial_lengths : k:int -> total:int -> int array
+(** Geometric profile: half the work in one task, a quarter in the next,
+    ... — the sequential-discovery pattern that maximizes reassignment
+    pressure. *)

@@ -1,0 +1,1 @@
+lib/baselines/cte.ml: Array Bfdn_sim Hashtbl List

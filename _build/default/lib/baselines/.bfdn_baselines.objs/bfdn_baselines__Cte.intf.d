@@ -1,0 +1,1 @@
+lib/baselines/cte.mli: Bfdn_sim

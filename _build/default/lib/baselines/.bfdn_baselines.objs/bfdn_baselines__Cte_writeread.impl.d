@@ -1,0 +1,1 @@
+lib/baselines/cte_writeread.ml: Array Bfdn_sim Hashtbl List

@@ -1,0 +1,1 @@
+lib/baselines/cte_writeread.mli: Bfdn_sim

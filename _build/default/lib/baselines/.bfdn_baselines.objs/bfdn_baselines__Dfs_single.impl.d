@@ -1,0 +1,1 @@
+lib/baselines/dfs_single.ml: Array Bfdn_sim

@@ -1,0 +1,1 @@
+lib/baselines/dfs_single.mli: Bfdn_sim

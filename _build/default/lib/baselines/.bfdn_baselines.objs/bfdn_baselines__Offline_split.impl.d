@@ -1,0 +1,1 @@
+lib/baselines/offline_split.ml: Array Bfdn_sim Bfdn_trees Bfdn_util List

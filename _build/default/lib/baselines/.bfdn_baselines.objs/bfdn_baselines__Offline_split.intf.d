@@ -1,0 +1,1 @@
+lib/baselines/offline_split.mli: Bfdn_sim Bfdn_trees

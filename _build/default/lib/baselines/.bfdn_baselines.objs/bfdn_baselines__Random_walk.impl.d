@@ -1,0 +1,1 @@
+lib/baselines/random_walk.ml: Array Bfdn_sim Bfdn_util

@@ -1,0 +1,1 @@
+lib/baselines/random_walk.mli: Bfdn_sim Bfdn_util

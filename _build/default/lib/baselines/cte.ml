@@ -1,0 +1,61 @@
+module Env = Bfdn_sim.Env
+module Partial_tree = Bfdn_sim.Partial_tree
+
+(* Unfinished branches of [v]: dangling ports, plus explored children whose
+   discovered subtree still has a dangling edge. The cursor permanently
+   skips the finished prefix of the port array (finished is absorbing). *)
+let branches view cursor v =
+  let nports = Partial_tree.num_ports view v in
+  let unfinished p =
+    match Partial_tree.port view v p with
+    | Partial_tree.Dangling -> true
+    | Partial_tree.Child c -> Partial_tree.subtree_open view c
+    | Partial_tree.To_parent -> false
+  in
+  while cursor.(v) < nports && not (unfinished cursor.(v)) do
+    cursor.(v) <- cursor.(v) + 1
+  done;
+  let acc = ref [] in
+  for p = nports - 1 downto cursor.(v) do
+    if unfinished p then acc := p :: !acc
+  done;
+  !acc
+
+let make env =
+  let view = Env.view env in
+  let n = Env.capacity env in
+  let cursor = Array.make n 0 in
+  let select env =
+    let k = Env.k env in
+    let moves = Array.make k Env.Stay in
+    (* Group robots by node. *)
+    let by_node = Hashtbl.create 16 in
+    for i = k - 1 downto 0 do
+      let pos = Env.position env i in
+      let prev = try Hashtbl.find by_node pos with Not_found -> [] in
+      Hashtbl.replace by_node pos (i :: prev)
+    done;
+    let root = Partial_tree.root view in
+    let handle_node pos robots =
+      match branches view cursor pos with
+      | [] ->
+          if pos <> root then List.iter (fun i -> moves.(i) <- Env.Up) robots
+      | ports ->
+          let ports = Array.of_list ports in
+          let m = Array.length ports in
+          List.iteri
+            (fun j i -> moves.(i) <- Env.Via_port ports.(j mod m))
+            robots
+    in
+    Hashtbl.iter handle_node by_node;
+    moves
+  in
+  {
+    Bfdn_sim.Runner.name = "cte";
+    select;
+    finished = (fun env -> Env.fully_explored env && Env.all_at_root env);
+  }
+
+let bound ~n ~k ~depth =
+  if k <= 1 then 2.0 *. float_of_int (n - 1)
+  else (float_of_int n /. (log (float_of_int k) /. log 2.0)) +. float_of_int depth

@@ -1,0 +1,1 @@
+lib/core/bfdn_algo.mli: Bfdn_sim Bfdn_util

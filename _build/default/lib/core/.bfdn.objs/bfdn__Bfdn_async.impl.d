@@ -1,0 +1,1 @@
+lib/core/bfdn_async.ml: Array Bfdn_sim List

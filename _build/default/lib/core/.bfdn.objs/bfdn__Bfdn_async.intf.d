@@ -1,0 +1,1 @@
+lib/core/bfdn_async.mli: Bfdn_sim

@@ -1,0 +1,1 @@
+lib/core/bfdn_graph.ml: Array Bfdn_graphs Hashtbl List

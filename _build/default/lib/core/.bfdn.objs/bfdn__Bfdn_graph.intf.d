@@ -1,0 +1,1 @@
+lib/core/bfdn_graph.mli: Bfdn_graphs

@@ -1,0 +1,1 @@
+lib/core/bfdn_planner.ml: Array Bfdn_sim Bfdn_util Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/bfdn_planner.mli: Bfdn_sim

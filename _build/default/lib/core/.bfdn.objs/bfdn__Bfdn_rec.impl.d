@@ -1,0 +1,1 @@
+lib/core/bfdn_rec.ml: Array Bfdn_sim Bfdn_util Hashtbl List Option Printf

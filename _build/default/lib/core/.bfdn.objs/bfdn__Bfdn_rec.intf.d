@@ -1,0 +1,1 @@
+lib/core/bfdn_rec.mli: Bfdn_sim

@@ -1,0 +1,1 @@
+lib/core/regions.ml: Array Bfdn_util Float List Printf

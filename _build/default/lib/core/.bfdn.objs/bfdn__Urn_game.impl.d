@@ -1,0 +1,1 @@
+lib/core/urn_game.ml: Array Bfdn_util Buffer Float Printf String

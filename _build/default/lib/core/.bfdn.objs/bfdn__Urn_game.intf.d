@@ -1,0 +1,1 @@
+lib/core/urn_game.mli: Bfdn_util

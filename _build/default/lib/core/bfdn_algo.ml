@@ -1,0 +1,183 @@
+module Env = Bfdn_sim.Env
+module Partial_tree = Bfdn_sim.Partial_tree
+module Runner = Bfdn_sim.Runner
+module Rng = Bfdn_util.Rng
+
+type policy = Least_loaded | First_open | Random_open of Rng.t
+
+type rstate = {
+  mutable anchor : int;
+  mutable stack : Env.move list; (* moves left to reach the anchor *)
+}
+
+type t = {
+  env : Env.t;
+  policy : policy;
+  shortcut : bool;
+  robots : rstate array;
+  anchor_load : int array;
+  (* Cursor over the ports of each node: everything before it is known to
+     be non-dangling (or dangling-but-selected-this-round, hence resolved
+     by the end of the round). Keeps the depth-next dangling lookup O(1)
+     amortized even on high-degree nodes. *)
+  dangle_cursor : int array;
+  reanchor_counts : int array; (* indexed by anchor depth *)
+  mutable reanchors_total : int;
+  (* round-local set of dangling edges selected by earlier robots *)
+  selected : (int * int, unit) Hashtbl.t;
+}
+
+let make ?(policy = Least_loaded) ?(shortcut = false) env =
+  let n = Env.capacity env in
+  let root = Partial_tree.root (Env.view env) in
+  {
+    env;
+    policy;
+    shortcut;
+    robots = Array.init (Env.k env) (fun _ -> { anchor = root; stack = [] });
+    anchor_load =
+      (let load = Array.make n 0 in
+       load.(root) <- Env.k env;
+       load);
+    dangle_cursor = Array.make n 0;
+    reanchor_counts = Array.make (Env.capacity env + 2) 0;
+    reanchors_total = 0;
+    selected = Hashtbl.create 16;
+  }
+
+let next_dangling t view pos =
+  let nports = Partial_tree.num_ports view pos in
+  (* The cursor may permanently skip non-dangling ports, but a dangling
+     port selected by an earlier robot of the same round is only skipped
+     transiently: if that robot's move is vetoed (reactive blocking,
+     Remark 8) the port stays dangling and must remain reachable. *)
+  let rec scan c ~commit =
+    if c >= nports then None
+    else
+      match Partial_tree.port view pos c with
+      | Partial_tree.Dangling ->
+          if Hashtbl.mem t.selected (pos, c) then scan (c + 1) ~commit:false
+          else Some c
+      | Partial_tree.To_parent | Partial_tree.Child _ ->
+          if commit then t.dangle_cursor.(pos) <- c + 1;
+          scan (c + 1) ~commit
+  in
+  scan t.dangle_cursor.(pos) ~commit:true
+
+let least_loaded t candidates =
+  List.fold_left
+    (fun best v ->
+      match best with
+      | None -> Some v
+      | Some b ->
+          if
+            t.anchor_load.(v) < t.anchor_load.(b)
+            || (t.anchor_load.(v) = t.anchor_load.(b) && v < b)
+          then Some v
+          else best)
+    None candidates
+
+let pick_anchor t view =
+  match Partial_tree.open_nodes_at_min_depth view with
+  | [] -> Partial_tree.root view
+  | candidates -> (
+      match t.policy with
+      | Least_loaded -> Option.get (least_loaded t candidates)
+      | First_open -> List.fold_left min (List.hd candidates) candidates
+      | Random_open rng -> Rng.pick rng (Array.of_list candidates))
+
+(* Moves from [src] to [dst] along the discovered tree: up to the lowest
+   common ancestor, then down the port path. With [src = root] this is the
+   plain Algorithm 1 stack. *)
+let route view src dst =
+  let rec lift u du w dw ups =
+    if u = w then (u, ups)
+    else if du >= dw then
+      lift (Option.get (Partial_tree.parent view u)) (du - 1) w dw (ups + 1)
+    else lift u du (Option.get (Partial_tree.parent view w)) (dw - 1) ups
+  in
+  let lca, ups =
+    lift src (Partial_tree.depth_of view src) dst (Partial_tree.depth_of view dst) 0
+  in
+  let rec drop n xs = if n = 0 then xs else match xs with [] -> [] | _ :: r -> drop (n - 1) r in
+  let downs =
+    List.map (fun p -> Env.Via_port p)
+      (drop (Partial_tree.depth_of view lca) (Partial_tree.ports_from_root view dst))
+  in
+  List.init ups (fun _ -> Env.Up) @ downs
+
+let reanchor t i =
+  let view = Env.view t.env in
+  let r = t.robots.(i) in
+  let pos = Env.position t.env i in
+  t.anchor_load.(r.anchor) <- t.anchor_load.(r.anchor) - 1;
+  let v = pick_anchor t view in
+  r.anchor <- v;
+  t.anchor_load.(v) <- t.anchor_load.(v) + 1;
+  r.stack <- route view pos v;
+  let d = Partial_tree.depth_of view v in
+  t.reanchor_counts.(d) <- t.reanchor_counts.(d) + 1;
+  t.reanchors_total <- t.reanchors_total + 1
+
+let select t =
+  let view = Env.view t.env in
+  let root = Partial_tree.root view in
+  let k = Env.k t.env in
+  let moves = Array.make k Env.Stay in
+  Hashtbl.reset t.selected;
+  for i = 0 to k - 1 do
+    if Env.allowed t.env i then begin
+      let r = t.robots.(i) in
+      let pos = Env.position t.env i in
+      if pos = root then reanchor t i;
+      match r.stack with
+      | m :: rest ->
+          (* Breadth-first move along the stacked route. *)
+          r.stack <- rest;
+          moves.(i) <- m
+      | [] -> (
+          (* Depth-next move. *)
+          match next_dangling t view pos with
+          | Some p ->
+              Hashtbl.replace t.selected (pos, p) ();
+              moves.(i) <- Env.Via_port p
+          | None ->
+              if pos <> root then begin
+                if t.shortcut && Partial_tree.min_open_depth view <> None then
+                  (* Ablation: re-anchor in place instead of walking home
+                     first (the paper keeps the walk for the write-read
+                     model; see Section 2). *)
+                  reanchor t i;
+                match r.stack with
+                | m :: rest ->
+                    r.stack <- rest;
+                    moves.(i) <- m
+                | [] -> moves.(i) <- Env.Up
+              end)
+    end
+  done;
+  moves
+
+let algo t =
+  {
+    Runner.name = "bfdn";
+    select = (fun _ -> select t);
+    finished = (fun env -> Env.fully_explored env && Env.all_at_root env);
+  }
+
+let anchors t = Array.map (fun r -> r.anchor) t.robots
+
+let reanchors_at_depth t d =
+  if d < 0 || d >= Array.length t.reanchor_counts then 0
+  else t.reanchor_counts.(d)
+
+let reanchors_total t = t.reanchors_total
+
+let check_claim4 t =
+  let view = Env.view t.env in
+  let anchor_list = Array.to_list (anchors t) in
+  let covered v = List.exists (fun a -> Partial_tree.is_ancestor view a v) anchor_list in
+  let all_open_covered acc v =
+    acc && ((not (Partial_tree.is_open view v)) || covered v)
+  in
+  Partial_tree.fold_explored view ~init:true ~f:all_open_covered

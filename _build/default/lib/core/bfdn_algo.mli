@@ -1,0 +1,56 @@
+(** Breadth-First Depth-Next (Algorithm 1), complete-communication model.
+
+    Behaviour of each robot: when at the root it is {e re-anchored} to an
+    open node of minimum depth carrying the fewest anchored robots, and
+    walks to it with breadth-first ([BF]) moves along its stacked port
+    path; once the stack is empty it performs depth-next ([DN]) moves —
+    through an adjacent dangling edge not selected by an earlier robot of
+    the same round if one exists, one step up otherwise — until it reaches
+    the root again.
+
+    The implementation is mask-aware: robots whose move the environment's
+    adversarial mask disallows (Section 4.2) are skipped in the
+    sequential-decision loop, exactly as prescribed by the paper's
+    adversarial variant. With the default all-allowed mask this is plain
+    Algorithm 1.
+
+    Guarantee (Theorem 1): exploration plus return in at most
+    [2n/k + D^2 (min(log k, log Δ) + 3)] rounds. *)
+
+type t
+
+(** Anchor-selection policy, for the ablation study. The paper's policy —
+    backed by the urn-game analysis — is {!Least_loaded}. *)
+type policy =
+  | Least_loaded  (** fewest anchored robots, ties to the smallest id *)
+  | First_open  (** smallest id among minimum-depth open nodes *)
+  | Random_open of Bfdn_util.Rng.t  (** uniform among minimum-depth open nodes *)
+
+val make : ?policy:policy -> ?shortcut:bool -> Bfdn_sim.Env.t -> t
+(** [shortcut] (default [false]) enables the ablation variant that
+    re-anchors a robot the moment its depth-next excursion stalls, routing
+    it through the lowest common ancestor instead of the root. The paper
+    deliberately keeps the walk home — it is what makes the write-read
+    implementation possible (Section 2) — so [shortcut] exists to measure
+    what that choice costs in the complete-communication model. Theorem 1
+    is {e not} claimed for this variant. *)
+
+val algo : t -> Bfdn_sim.Runner.algo
+(** Runner hook. [finished] is "tree explored and all robots at the root"
+    (under break-down masks, compose with {!Bfdn_sim.Env.fully_explored}
+    instead, since blocked robots may never return). *)
+
+(** {2 Instrumentation} *)
+
+val anchors : t -> int array
+(** Current anchor of every robot. *)
+
+val reanchors_at_depth : t -> int -> int
+(** Number of [Reanchor] calls that returned an anchor at this depth so
+    far — the quantity bounded by Lemma 2. *)
+
+val reanchors_total : t -> int
+
+val check_claim4 : t -> bool
+(** Claim 4: every open node of the discovered tree lies in the subtree of
+    some robot's anchor. O(open · k · D); for tests. *)

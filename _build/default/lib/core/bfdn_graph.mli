@@ -1,0 +1,31 @@
+(** BFDN on non-tree graphs (Section 4.3).
+
+    Requires the distance-to-origin knowledge granted by the paper (exact
+    in grid graphs with rectangular obstacles [12]; provided by
+    {!Bfdn_graphs.Graph_env}'s oracle in general). A robot crossing a
+    dangling edge backtracks and {e closes} it when the far endpoint is
+    already explored or not strictly further from the origin; otherwise
+    the edge joins the growing BFS tree, on which plain BFDN runs.
+
+    Guarantee (Proposition 9): at most
+    [2n/k + D^2 (min(log Δ, log k) + 3)] rounds for a graph with [n]
+    edges, radius [D] and maximum degree [Δ]; the never-closed edges form
+    a BFS tree of the graph. *)
+
+type t
+
+val make : Bfdn_graphs.Graph_env.t -> t
+
+type result = {
+  rounds : int;
+  explored : bool;
+  at_origin : bool;
+  closed_edges : int;
+  hit_round_limit : bool;
+}
+
+val run : ?max_rounds:int -> t -> result
+(** The graph environment has its own move type, so the driving loop lives
+    here rather than in {!Bfdn_sim.Runner}. *)
+
+val reanchors_total : t -> int

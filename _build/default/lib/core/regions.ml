@@ -1,0 +1,228 @@
+type algorithm = Cte | Yostar | Bfdn | Bfdn_rec
+
+let name = function
+  | Cte -> "CTE"
+  | Yostar -> "Yo*"
+  | Bfdn -> "BFDN"
+  | Bfdn_rec -> "BFDN_l"
+
+let fi = float_of_int
+
+(* The Figure 1 axes reach n = e^(1.5 k), far outside float range, so all
+   guarantee formulas are evaluated in log space. Each formula is a sum of
+   two terms whose logarithms are exact; log-sum-exp combines them. The
+   test-suite checks these against {!Bounds} at ordinary scales. *)
+
+let lse a b =
+  let hi = Float.max a b and lo = Float.min a b in
+  hi +. log1p (exp (lo -. hi))
+
+let lsafe_log x = log (Float.max 2.0 x)
+
+(* All functions below take ln n and ln d. *)
+
+let log_cte ~ln ~k ~ld =
+  if k <= 1 then log 2.0 +. ln
+  else lse (ln -. log (log (fi k) /. log 2.0)) ld
+
+let log_yostar ~ln ~k ~ld =
+  let lk = lsafe_log (fi k) in
+  let loglogk = lsafe_log lk in
+  let coeff =
+    (sqrt (Float.max 0.0 ld *. loglogk) *. log 2.0)
+    +. log lk
+    +. log (Float.max 1.0 ln +. lk)
+  in
+  lse (coeff +. ln -. log (fi k)) (coeff +. ld)
+
+let log_bfdn ~ln ~k ~ld ~ldelta =
+  let log0 x = if x <= 1.0 then 0.0 else log x in
+  let factor = Float.min (log0 (fi k)) (log0 ldelta) +. 3.0 in
+  lse (log 2.0 +. ln -. log (fi k)) ((2.0 *. ld) +. log factor)
+
+let ell_max k =
+  let lk = lsafe_log (fi k) in
+  max 1 (int_of_float (lk /. Float.max 1.0 (log lk)))
+
+let log_bfdn_rec_at ~ln ~k ~ld ~ldelta ~ell =
+  let log0 x = if x <= 1.0 then 0.0 else log x in
+  let lf = fi ell in
+  let lk = log0 (fi k) in
+  lse
+    (log 4.0 +. ln -. (lk /. lf))
+    (((lf +. 1.0) *. log 2.0)
+    +. log (lf +. 1.0 +. Float.min (log0 ldelta) (lk /. lf))
+    +. ((1.0 +. (1.0 /. lf)) *. ld))
+
+let log_bfdn_rec ~ln ~k ~ld ~ldelta =
+  let rec go ell best =
+    if ell > ell_max k then best
+    else go (ell + 1) (Float.min best (log_bfdn_rec_at ~ln ~k ~ld ~ldelta ~ell))
+  in
+  go 2 (log_bfdn_rec_at ~ln ~k ~ld ~ldelta ~ell:1)
+
+let guarantees ~ln ~k ~ld ~ldelta =
+  [
+    (Cte, log_cte ~ln ~k ~ld);
+    (Yostar, log_yostar ~ln ~k ~ld);
+    (Bfdn, log_bfdn ~ln ~k ~ld ~ldelta);
+    (Bfdn_rec, log_bfdn_rec ~ln ~k ~ld ~ldelta);
+  ]
+
+let argmin_winner ~ln ~k ~ld ~ldelta =
+  let entries = guarantees ~ln ~k ~ld ~ldelta in
+  List.fold_left
+    (fun (ba, bv) (a, v) -> if v < bv then (a, v) else (ba, bv))
+    (List.hd entries) (List.tl entries)
+
+let winner ~n ~k ~d ~delta =
+  if d >= n then invalid_arg "Regions.winner: requires d < n";
+  let a, logv = argmin_winner ~ln:(log (fi n)) ~k ~ld:(log (fi d)) ~ldelta:(fi delta) in
+  (a, exp logv)
+
+(* Appendix A classification with the paper's dropped constants: the
+   schematic Figure 1. Pairwise comparisons quoted from the appendix, in
+   log space. *)
+let analytic_winner_log ~ln ~k ~ld =
+  let lk = lsafe_log (fi k) in
+  let bfdn_over_cte = (2.0 *. ld) +. (2.0 *. log lk) <= ln in
+  let bfdn_over_yo = log (fi k) +. (2.0 *. ld) <= ln -. log (fi k) in
+  let yo_over_cte =
+    ln <= fi k && ld <= lk *. lk
+    && ld <= ln +. (2.0 *. log lk) -. log (Float.max 1.0 ln)
+  in
+  let lmax = ell_max k in
+  let bfdnl_over_cte =
+    let rec any ell =
+      ell <= lmax
+      && (ld < (fi ell /. (fi ell +. 1.0) *. ln) -. log (fi k) -. (2.0 *. log lk)
+         || any (ell + 1))
+    in
+    any 2
+  in
+  let bfdnl_over_bfdn =
+    let rec any ell =
+      ell <= lmax && ((2.0 *. ld >= ln -. (lk /. fi ell)) || any (ell + 1))
+    in
+    any 2
+  in
+  if bfdn_over_cte && bfdn_over_yo && not (bfdnl_over_cte && bfdnl_over_bfdn)
+  then Bfdn
+  else if bfdnl_over_cte && 2.0 *. ld >= ln -. lk then Bfdn_rec
+  else if yo_over_cte && not bfdn_over_yo then Yostar
+  else Cte
+
+let analytic_winner ~n ~k ~d = analytic_winner_log ~ln:(log n) ~k ~ld:(log d)
+
+let bfdn_beats_cte ~n ~k ~d =
+  let lk = lsafe_log (fi k) in
+  fi d *. fi d *. lk *. lk <= fi n
+
+let bfdn_beats_yostar ~n ~k ~d = fi k *. fi d *. fi d <= fi n /. fi k
+
+let bfdn_rec_beats_cte ~n ~k ~d ~ell =
+  let lk = lsafe_log (fi k) in
+  let lf = fi ell in
+  fi d < (fi n ** (lf /. (lf +. 1.0))) /. (fi k *. lk *. lk)
+
+type map = {
+  k : int;
+  rows : int;
+  cols : int;
+  log_n_min : float;
+  log_n_max : float;
+  cells : algorithm array array;
+}
+
+type mode = Argmin | Analytic
+
+(* The paper's axes are schematic: tick marks at k, e^(log^2 k) and e^k
+   are drawn roughly equidistant, i.e. the drawing is uniform in
+   log log n. We use the same doubly-logarithmic scale so every region is
+   visible, exactly like the figure. *)
+let axes m =
+  let u_min = log (log (fi (2 * max 2 m))) in
+  let u_max = log (1.5 *. fi m) in
+  (u_min, u_max)
+
+(* ln n and ln d of a grid cell. *)
+let cell_coords ~rows ~cols ~k ~row ~col =
+  let u_min, u_max = axes k in
+  let ln = exp (u_min +. (fi col /. fi (cols - 1) *. (u_max -. u_min))) in
+  let ld = exp (fi row /. fi (rows - 1) *. u_max) -. 1.0 in
+  (ln, ld)
+
+let compute_map ?(rows = 24) ?(cols = 72) ?(mode = Analytic) ~k () =
+  let log_n_min, log_n_max = axes k in
+  let cells =
+    Array.init rows (fun row ->
+        Array.init cols (fun col ->
+            let ln, ld = cell_coords ~rows ~cols ~k ~row ~col in
+            if ld >= ln then Cte (* shaded: no tree has D >= n *)
+            else
+              match mode with
+              | Analytic -> analytic_winner_log ~ln ~k ~ld
+              | Argmin -> fst (argmin_winner ~ln ~k ~ld ~ldelta:(fi k))))
+  in
+  { k; rows; cols; log_n_min; log_n_max; cells }
+
+let glyph m ~row ~col =
+  let ln, ld = cell_coords ~rows:m.rows ~cols:m.cols ~k:m.k ~row ~col in
+  if ld >= ln then '.'
+  else
+    match m.cells.(row).(col) with
+    | Cte -> 'C'
+    | Yostar -> 'Y'
+    | Bfdn -> 'B'
+    | Bfdn_rec -> 'R'
+
+let render m =
+  let grid =
+    Bfdn_util.Ascii.grid ~x_label:"log n ->" ~y_label:"log D ^" ~rows:m.rows
+      ~cols:m.cols
+      ~cell:(fun ~row ~col -> glyph m ~row ~col)
+      ()
+  in
+  let legend =
+    Bfdn_util.Ascii.legend
+      [
+        ('C', "CTE best");
+        ('Y', "Yo* best");
+        ('B', "BFDN best");
+        ('R', "BFDN_l best");
+        ('.', "no tree (n <= D)");
+      ]
+  in
+  Printf.sprintf "Figure 1 reproduction (k = %d), best guarantee per (n, D):\n%s%s\n"
+    m.k grid legend
+
+let agreement_with_analytic m =
+  let agree = ref 0 and total = ref 0 in
+  for row = 0 to m.rows - 1 do
+    for col = 0 to m.cols - 1 do
+      let ln, ld = cell_coords ~rows:m.rows ~cols:m.cols ~k:m.k ~row ~col in
+      if ld < ln then begin
+        let sorted =
+          List.sort
+            (fun (_, a) (_, b) -> compare a b)
+            (guarantees ~ln ~k:m.k ~ld ~ldelta:(fi m.k))
+        in
+        match sorted with
+        | (a1, _) :: (a2, _) :: _
+          when (a1 = Cte && a2 = Bfdn) || (a1 = Bfdn && a2 = Cte) ->
+            incr total;
+            (* Appendix A: BFDN beats CTE iff D^2 log^2 k <= n, up to the
+               dropped constants; cells within a constant factor of the
+               boundary are accepted either way. *)
+            let lk = lsafe_log (fi m.k) in
+            let margin = (2.0 *. ld) +. (2.0 *. log lk) -. ln in
+            if Float.abs margin <= log 2.0 then incr agree
+            else begin
+              let analytic_bfdn = margin <= 0.0 in
+              if (a1 = Bfdn) = analytic_bfdn then incr agree
+            end
+        | _ -> ()
+      end
+    done
+  done;
+  if !total = 0 then 1.0 else fi !agree /. fi !total

@@ -1,0 +1,58 @@
+(** Figure 1 — regions of the [(n, D)] plane where each algorithm's
+    runtime guarantee is the best, at a fixed number of robots [k].
+
+    The classification evaluates the four guarantee formulas of {!Bounds}
+    on a log-log grid and picks the argmin, exactly the comparison the
+    paper's Appendix A performs symbolically. {!analytic} reproduces the
+    appendix's closed-form boundary tests so the two can be cross-checked
+    (they agree up to the O-constants the paper drops). *)
+
+type algorithm = Cte | Yostar | Bfdn | Bfdn_rec
+
+val name : algorithm -> string
+
+val winner : n:int -> k:int -> d:int -> delta:int -> algorithm * float
+(** Argmin of the four guarantees (with BFDN_ℓ minimized over admissible
+    [ℓ]); ties break towards the simpler algorithm (CTE < Yo* < BFDN <
+    BFDN_ℓ). Requires [d < n]. *)
+
+(** Appendix A closed-form boundary tests. *)
+
+val bfdn_beats_cte : n:int -> k:int -> d:int -> bool
+(** [D^2 log^2 k <= n]. *)
+
+val bfdn_beats_yostar : n:int -> k:int -> d:int -> bool
+(** [k D^2 <= n / k] (within the regime [n <= e^k], [D <= e^(log^2 k)]). *)
+
+val bfdn_rec_beats_cte : n:int -> k:int -> d:int -> ell:int -> bool
+(** [D < n^(ell/(ell+1)) / (k log^2 k)], for
+    [ell < log k / log log k]. *)
+
+val analytic_winner : n:float -> k:int -> d:float -> algorithm
+(** The Appendix A classification with constants dropped — what the
+    paper's schematic figure actually draws. *)
+
+type mode =
+  | Argmin  (** numeric argmin of the four guarantee formulas *)
+  | Analytic  (** Appendix A closed-form regions (the paper's figure) *)
+
+type map = {
+  k : int;
+  rows : int;
+  cols : int;
+  log_n_min : float;  (** natural log: the axes overflow floats *)
+  log_n_max : float;
+  cells : algorithm array array;  (** [cells.(row).(col)]; row = D axis *)
+}
+
+val compute_map : ?rows:int -> ?cols:int -> ?mode:mode -> k:int -> unit -> map
+(** Log-scaled grid: [n] from [k] to [e^(1.5 k)] (column axis), [D] from
+    [1] to [n] (row axis, shaded region [n <= D] excluded). *)
+
+val render : map -> string
+(** ASCII rendering with a legend — the reproduction of Figure 1. *)
+
+val agreement_with_analytic : map -> float
+(** Fraction of grid cells where the numeric argmin agrees with the
+    Appendix A closed-form predictions on the CTE-vs-BFDN boundary
+    (restricted to cells where the two algorithms are the top two). *)

@@ -1,0 +1,1 @@
+lib/graphs/graph_env.ml: Array Graph Hashtbl List

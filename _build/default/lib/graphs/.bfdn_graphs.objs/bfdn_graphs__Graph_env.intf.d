@@ -1,0 +1,1 @@
+lib/graphs/graph_env.mli: Graph

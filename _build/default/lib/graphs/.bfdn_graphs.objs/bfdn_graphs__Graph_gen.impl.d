@@ -1,0 +1,1 @@
+lib/graphs/graph_gen.ml: Bfdn_util Graph Hashtbl

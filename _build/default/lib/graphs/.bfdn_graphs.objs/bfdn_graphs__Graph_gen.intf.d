@@ -1,0 +1,1 @@
+lib/graphs/graph_gen.mli: Bfdn_util Graph

@@ -1,0 +1,1 @@
+lib/graphs/grid.ml: Array Bfdn_util Buffer Graph List Queue

@@ -1,0 +1,1 @@
+lib/graphs/grid.mli: Bfdn_util Graph

@@ -1,0 +1,52 @@
+module Rng = Bfdn_util.Rng
+
+let random_connected ~rng ~n ~extra_edges =
+  if n < 1 then invalid_arg "Graph_gen.random_connected: n must be >= 1";
+  if extra_edges < 0 then invalid_arg "Graph_gen.random_connected: negative extras";
+  let seen = Hashtbl.create (n + extra_edges) in
+  let edges = ref [] in
+  let add u v =
+    let key = (min u v, max u v) in
+    if u <> v && not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      edges := (u, v) :: !edges
+    end
+  in
+  for v = 1 to n - 1 do
+    add v (Rng.int rng v)
+  done;
+  for _ = 1 to extra_edges do
+    if n >= 2 then add (Rng.int rng n) (Rng.int rng n)
+  done;
+  Graph.of_edges ~n !edges
+
+let layered ~rng ~layers ~width ~chords =
+  if layers < 0 || width < 1 then invalid_arg "Graph_gen.layered: bad shape";
+  let n = 1 + (layers * width) in
+  let node layer j = if layer = 0 then 0 else 1 + ((layer - 1) * width) + j in
+  let seen = Hashtbl.create (2 * n) in
+  let edges = ref [] in
+  let add u v =
+    let key = (min u v, max u v) in
+    if u <> v && not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      edges := (u, v) :: !edges
+    end
+  in
+  for layer = 1 to layers do
+    for j = 0 to width - 1 do
+      let prev = if layer = 1 then 0 else node (layer - 1) (Rng.int rng width) in
+      add (node layer j) prev
+    done
+  done;
+  for _ = 1 to chords do
+    if layers >= 1 then begin
+      let layer = 1 + Rng.int rng layers in
+      let u = node layer (Rng.int rng width) in
+      let other_layer =
+        Bfdn_util.Mathx.clamp 1 layers (layer + Rng.int_in rng (-1) 1)
+      in
+      add u (node other_layer (Rng.int rng width))
+    end
+  done;
+  Graph.of_edges ~n !edges

@@ -1,0 +1,21 @@
+(** Random connected graphs for the Section 4.3 experiments beyond grids.
+
+    The paper's Proposition 9 only assumes the robots know their distance
+    to the origin; these generators produce arbitrary connected graphs
+    (random spanning tree plus extra chords) on which the BFS-distance
+    oracle of {!Graph_env} plays that role. *)
+
+val random_connected :
+  rng:Bfdn_util.Rng.t -> n:int -> extra_edges:int -> Graph.t
+(** Uniform random spanning tree skeleton (random attachment) plus
+    [extra_edges] distinct random chords. The result is connected with
+    [n - 1 + extra_edges'] edges where [extra_edges' <= extra_edges]
+    (duplicates are skipped). *)
+
+val layered :
+  rng:Bfdn_util.Rng.t -> layers:int -> width:int -> chords:int -> Graph.t
+(** Node 0 plus [layers] layers of [width] nodes; each node is connected
+    to a random node of the previous layer, plus [chords] random
+    same-layer or adjacent-layer chords — a synthetic "city blocks"
+    topology with many equal-distance edges for the closing rule to
+    discard. *)

@@ -1,0 +1,137 @@
+module Rng = Bfdn_util.Rng
+
+type spec = {
+  width : int;
+  height : int;
+  obstacles : (int * int * int * int) list;
+}
+
+type t = {
+  spec : spec;
+  graph : Graph.t;
+  origin : Graph.node;
+  node_of : int array; (* cell index -> node id or -1 *)
+  cell_of : (int * int) array; (* node id -> cell *)
+}
+
+let cell_index spec x y = (y * spec.width) + x
+
+let blocked spec x y =
+  List.exists
+    (fun (x0, y0, x1, y1) -> x >= x0 && x <= x1 && y >= y0 && y <= y1)
+    spec.obstacles
+
+let make spec =
+  if spec.width < 1 || spec.height < 1 then invalid_arg "Grid.make: empty grid";
+  if blocked spec 0 0 then invalid_arg "Grid.make: origin blocked";
+  let ncells = spec.width * spec.height in
+  let free = Array.make ncells false in
+  for y = 0 to spec.height - 1 do
+    for x = 0 to spec.width - 1 do
+      free.(cell_index spec x y) <- not (blocked spec x y)
+    done
+  done;
+  (* Restrict to the component of the origin so the graph is connected. *)
+  let reach = Array.make ncells false in
+  let queue = Queue.create () in
+  reach.(cell_index spec 0 0) <- true;
+  Queue.add (0, 0) queue;
+  let try_visit x y =
+    if x >= 0 && x < spec.width && y >= 0 && y < spec.height then begin
+      let i = cell_index spec x y in
+      if free.(i) && not reach.(i) then begin
+        reach.(i) <- true;
+        Queue.add (x, y) queue
+      end
+    end
+  in
+  while not (Queue.is_empty queue) do
+    let x, y = Queue.pop queue in
+    try_visit (x + 1) y;
+    try_visit (x - 1) y;
+    try_visit x (y + 1);
+    try_visit x (y - 1)
+  done;
+  let node_of = Array.make ncells (-1) in
+  let cells = ref [] in
+  let count = ref 0 in
+  for y = 0 to spec.height - 1 do
+    for x = 0 to spec.width - 1 do
+      let i = cell_index spec x y in
+      if reach.(i) then begin
+        node_of.(i) <- !count;
+        cells := (x, y) :: !cells;
+        incr count
+      end
+    done
+  done;
+  let cell_of = Array.of_list (List.rev !cells) in
+  let edges = ref [] in
+  for y = 0 to spec.height - 1 do
+    for x = 0 to spec.width - 1 do
+      let i = cell_index spec x y in
+      if node_of.(i) >= 0 then begin
+        (* Right and down neighbours once each to avoid duplicates. *)
+        if x + 1 < spec.width && node_of.(cell_index spec (x + 1) y) >= 0 then
+          edges := (node_of.(i), node_of.(cell_index spec (x + 1) y)) :: !edges;
+        if y + 1 < spec.height && node_of.(cell_index spec x (y + 1)) >= 0 then
+          edges := (node_of.(i), node_of.(cell_index spec x (y + 1))) :: !edges
+      end
+    done
+  done;
+  let graph = Graph.of_edges ~n:!count !edges in
+  { spec; graph; origin = node_of.(cell_index spec 0 0); node_of; cell_of }
+
+let graph t = t.graph
+let origin t = t.origin
+
+let node_of_cell t (x, y) =
+  if x < 0 || x >= t.spec.width || y < 0 || y >= t.spec.height then None
+  else begin
+    let id = t.node_of.(cell_index t.spec x y) in
+    if id < 0 then None else Some id
+  end
+
+let cell_of_node t v = t.cell_of.(v)
+
+let free_cells t = Array.length t.cell_of
+
+let random_spec ~rng ~width ~height ~obstacle_count ~max_side =
+  if width < 1 || height < 1 then invalid_arg "Grid.random_spec: empty grid";
+  if max_side < 1 then invalid_arg "Grid.random_spec: max_side must be >= 1";
+  let rec gen tries acc remaining =
+    if remaining = 0 || tries > 20 * obstacle_count then acc
+    else begin
+      let w = Rng.int_in rng 1 max_side and h = Rng.int_in rng 1 max_side in
+      let x0 = Rng.int rng width and y0 = Rng.int rng height in
+      let rect = (x0, y0, min (width - 1) (x0 + w - 1), min (height - 1) (y0 + h - 1)) in
+      let x0', y0', x1', y1' = rect in
+      if x0' <= 0 && y0' <= 0 && x1' >= 0 && y1' >= 0 then
+        gen (tries + 1) acc remaining (* would block the origin *)
+      else gen (tries + 1) (rect :: acc) (remaining - 1)
+    end
+  in
+  { width; height; obstacles = gen 0 [] obstacle_count }
+
+let distance_is_manhattan t =
+  let dist = Graph.bfs_dist t.graph t.origin in
+  let ok = ref true in
+  Array.iteri
+    (fun v (x, y) -> if dist.(v) <> x + y then ok := false)
+    t.cell_of;
+  !ok
+
+let render t =
+  let buf = Buffer.create ((t.spec.width + 1) * t.spec.height) in
+  for y = t.spec.height - 1 downto 0 do
+    for x = 0 to t.spec.width - 1 do
+      let c =
+        if x = 0 && y = 0 then 'O'
+        else if t.node_of.(cell_index t.spec x y) >= 0 then '.'
+        else '#'
+      in
+      Buffer.add_char buf c
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

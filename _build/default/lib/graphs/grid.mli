@@ -1,0 +1,51 @@
+(** Grid graphs with rectangular obstacles — the concrete Section 4.3
+    setting borrowed from Ortolf & Schindelhauer [12].
+
+    Cells are [(x, y)] with [0 <= x < width], [0 <= y < height]; free cells
+    are 4-connected; the origin is cell [(0, 0)]. The result is restricted
+    to the connected component of the origin, so the returned graph is
+    always connected. *)
+
+type spec = {
+  width : int;
+  height : int;
+  obstacles : (int * int * int * int) list;
+      (** [(x0, y0, x1, y1)] inclusive corners, clipped to the grid *)
+}
+
+type t
+
+val make : spec -> t
+(** @raise Invalid_argument if the grid is empty or the origin is blocked. *)
+
+val graph : t -> Graph.t
+
+val origin : t -> Graph.node
+(** The node id of cell [(0, 0)]. *)
+
+val node_of_cell : t -> int * int -> Graph.node option
+(** [None] for blocked or out-of-range cells (or cells cut off from the
+    origin). *)
+
+val cell_of_node : t -> Graph.node -> int * int
+
+val free_cells : t -> int
+
+val random_spec :
+  rng:Bfdn_util.Rng.t ->
+  width:int ->
+  height:int ->
+  obstacle_count:int ->
+  max_side:int ->
+  spec
+(** Random axis-aligned obstacles; the origin cell is never covered. *)
+
+val distance_is_manhattan : t -> bool
+(** Whether every reachable cell's graph distance to the origin equals its
+    Manhattan distance [x + y] — the geometric property Section 4.3 quotes
+    from [12] to justify the distance-knowledge assumption. True on empty
+    grids and staircase-friendly obstacle layouts; false when an obstacle
+    forces a detour. *)
+
+val render : t -> string
+(** ASCII map: ['#'] obstacle / unreachable, ['.'] free, ['O'] origin. *)

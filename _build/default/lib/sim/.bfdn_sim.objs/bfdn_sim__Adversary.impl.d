@@ -1,0 +1,1 @@
+lib/sim/adversary.ml: Array Bfdn_trees Bfdn_util Env Hashtbl

@@ -1,0 +1,1 @@
+lib/sim/adversary.mli: Bfdn_trees Bfdn_util Env

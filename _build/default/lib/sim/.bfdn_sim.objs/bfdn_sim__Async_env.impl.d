@@ -1,0 +1,1 @@
+lib/sim/async_env.ml: Array Bfdn_trees Bfdn_util Hashtbl Option Partial_tree

@@ -1,0 +1,1 @@
+lib/sim/async_env.mli: Bfdn_trees Partial_tree

@@ -1,0 +1,1 @@
+lib/sim/env.ml: Array Bfdn_trees Lazy Option Partial_tree

@@ -1,0 +1,1 @@
+lib/sim/env.mli: Bfdn_trees Partial_tree

@@ -1,0 +1,1 @@
+lib/sim/partial_tree.mli:

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Bfdn_util Buffer Env Hashtbl List Partial_tree Printf String

@@ -1,0 +1,72 @@
+(** Adaptive tree-building adversaries.
+
+    The tightness results the paper builds on (Higashikawa et al. [11]
+    for CTE, Disser et al. [6] for the Ω(D²) lower bound) construct the
+    hidden tree {e online against the algorithm}: the shape of a node's
+    subtree is fixed only at the moment a robot reveals the node. This
+    module provides budgeted policies and turns them into a lazily
+    materialized {!Env.world}.
+
+    A policy sees, at each reveal, the new node's depth, how many robots
+    are arriving on it this round, the current round number, and the
+    remaining node budget; it returns the number of children to promise
+    (clamped to the budgets). Against a {e deterministic} algorithm the
+    frozen tree is an ordinary instance on which a re-run reproduces the
+    adaptive run exactly — that is how lower-bound constructions are
+    "frozen" into concrete trees, and it is asserted in the test-suite. *)
+
+type policy =
+  node:int -> depth:int -> arriving:int -> round:int -> remaining:int -> int
+
+type t
+
+val make : capacity:int -> depth_budget:int -> policy -> t
+(** [capacity] bounds the total node count (ids are pre-allocated when
+    promised); [depth_budget] bounds the tree depth — a node at that depth
+    gets no children regardless of the policy. *)
+
+val world : t -> Env.world
+(** The lazily materialized world. Each {!make} result must drive exactly
+    one environment. *)
+
+val frozen : t -> Bfdn_trees.Tree.t
+(** The tree materialized so far (every promised node; after a completed
+    exploration this is the full frozen instance). *)
+
+val nodes_built : t -> int
+
+val make_rec : capacity:int -> depth_budget:int -> (t -> policy) -> t
+(** Tie the knot for stateful policies that inspect the structure built so
+    far through the accessors below. *)
+
+val parent_of : t -> int -> int
+(** Parent of a promised node ([-1] for the root). *)
+
+val child_index : t -> int -> int
+(** Position of a promised node among its siblings (0-based). *)
+
+val depth_of_node : t -> int -> int
+
+(** {2 Stock policies} *)
+
+val corridor_crowds : threshold:int -> policy
+(** Crowds of at least [threshold] robots get a single child (the whole
+    crowd marches one edge per round, parallelism 1); smaller groups get
+    two children (keep splitting them). Targets proportional-splitting
+    explorers such as CTE. *)
+
+val thick_comb : t -> policy
+(** [11]-style comb grown online: a spine node continues with one spine
+    child plus one short tooth; teeth die immediately. Proportional
+    splitters keep diverting half of every crowd into dead teeth while the
+    spine advances one edge per round. Use with {!make_rec}. *)
+
+val greedy_widest : policy
+(** Spend the budget as fast as possible: every reveal takes all remaining
+    nodes as children (a shallow bomb). *)
+
+val miser : policy
+(** One child per reveal: the tree degenerates to a path. *)
+
+val random_policy : Bfdn_util.Rng.t -> max_children:int -> policy
+(** Uniform 0..[max_children] children per reveal. *)

@@ -1,0 +1,139 @@
+module Tree = Bfdn_trees.Tree
+module Pqueue = Bfdn_util.Pqueue
+
+type robot = int
+
+type action = Park | Go_up | Go_port of int
+
+type t = {
+  hidden : Tree.t;
+  view : Partial_tree.t;
+  k : int;
+  speeds : float array;
+  positions : int array;
+  in_transit : bool array; (* robot has a pending arrival event *)
+  claims : (int * int, unit) Hashtbl.t;
+  events : (robot * int * int option) Pqueue.t;
+      (* (robot, destination, crossed dangling port at the source) *)
+  mutable now : float;
+  mutable makespan : float;
+  travelled : int array;
+}
+
+type decide = t -> robot -> action
+
+let create ?speeds hidden ~k =
+  if k < 1 then invalid_arg "Async_env.create: k must be >= 1";
+  let speeds =
+    match speeds with
+    | None -> Array.make k 1.0
+    | Some s ->
+        if Array.length s <> k then invalid_arg "Async_env.create: wrong speeds arity";
+        if Array.exists (fun x -> x <= 0.0) s then
+          invalid_arg "Async_env.create: speeds must be positive";
+        Array.copy s
+  in
+  let root = Tree.root hidden in
+  let view = Partial_tree.Internal.create ~hidden_n:(Tree.n hidden) ~root in
+  Partial_tree.Internal.reveal view root ~parent:None ~num_ports:(Tree.degree hidden root);
+  {
+    hidden;
+    view;
+    k;
+    speeds;
+    positions = Array.make k root;
+    in_transit = Array.make k false;
+    claims = Hashtbl.create 16;
+    events = Pqueue.create ();
+    now = 0.0;
+    makespan = 0.0;
+    travelled = Array.make k 0;
+  }
+
+let view t = t.view
+let k t = t.k
+let capacity t = Tree.n t.hidden
+let now t = t.now
+let position t i = t.positions.(i)
+let claimed t v p = Hashtbl.mem t.claims (v, p)
+let fully_explored t = Partial_tree.complete t.view
+
+let all_at_root t =
+  let root = Partial_tree.root t.view in
+  Array.for_all (fun p -> p = root) t.positions
+
+let makespan t = t.makespan
+let distance_travelled t i = t.travelled.(i)
+
+(* Launch a traversal: schedule the arrival event and claim dangling
+   ports. *)
+let depart t i action =
+  let pos = t.positions.(i) in
+  match action with
+  | Park -> false
+  | Go_up -> (
+      match Partial_tree.parent t.view pos with
+      | None -> invalid_arg "Async_env: Go_up at the root"
+      | Some parent ->
+          Pqueue.push t.events (t.now +. (1.0 /. t.speeds.(i))) (i, parent, None);
+          t.in_transit.(i) <- true;
+          true)
+  | Go_port p ->
+      if p < 0 || p >= Partial_tree.num_ports t.view pos then
+        invalid_arg "Async_env: port out of range";
+      let crossed, dst =
+        match Partial_tree.port t.view pos p with
+        | Partial_tree.To_parent -> (None, Option.get (Partial_tree.parent t.view pos))
+        | Partial_tree.Child c -> (None, c)
+        | Partial_tree.Dangling ->
+            if Hashtbl.mem t.claims (pos, p) then
+              invalid_arg "Async_env: dangling port already claimed";
+            Hashtbl.replace t.claims (pos, p) ();
+            (Some p, Tree.neighbor_via_port t.hidden pos p)
+      in
+      Pqueue.push t.events (t.now +. (1.0 /. t.speeds.(i))) (i, dst, crossed);
+      t.in_transit.(i) <- true;
+      true
+
+let run ?(max_events = 10_000_000) decide t =
+  let parked = Array.make t.k false in
+  let ask i =
+    if not t.in_transit.(i) then begin
+      if depart t i (decide t i) then parked.(i) <- false else parked.(i) <- true
+    end
+  in
+  (* Initial decisions in robot order. *)
+  for i = 0 to t.k - 1 do
+    ask i
+  done;
+  let events = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Pqueue.pop t.events with
+    | None -> continue := false
+    | Some (time, (i, dst, crossed)) ->
+        incr events;
+        if !events > max_events then failwith "Async_env.run: event limit exceeded";
+        t.now <- time;
+        t.makespan <- time;
+        let src = t.positions.(i) in
+        t.positions.(i) <- dst;
+        t.in_transit.(i) <- false;
+        t.travelled.(i) <- t.travelled.(i) + 1;
+        let discovered =
+          match crossed with
+          | None -> false
+          | Some p ->
+              Hashtbl.remove t.claims (src, p);
+              Partial_tree.Internal.resolve_dangling t.view src p dst;
+              Partial_tree.Internal.reveal t.view dst ~parent:(Some src)
+                ~num_ports:(Tree.degree t.hidden dst);
+              true
+        in
+        ask i;
+        (* New frontier: wake the parked robots (in robot order). *)
+        if discovered then
+          for j = 0 to t.k - 1 do
+            if parked.(j) then ask j
+          done
+  done

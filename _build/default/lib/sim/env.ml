@@ -1,0 +1,190 @@
+module Tree = Bfdn_trees.Tree
+
+type robot = int
+
+type move = Stay | Up | Via_port of int
+
+type mask = round:int -> robot:robot -> bool
+
+type reactive_blocker = round:int -> selected:move array -> bool array
+
+(* The hidden side of the exploration: either a fixed tree, or a world
+   materialized lazily by an adversary. Node ids of promised children are
+   allocated before their subtree shape is decided, so the discovered tree
+   never depends on information the robots should not have. *)
+type world = {
+  w_capacity : int; (* upper bound on node ids, for array sizing *)
+  w_root : int;
+  w_degree : node:int -> arriving:int -> round:int -> int;
+      (* total ports of a node, decided once at its reveal *)
+  w_child : int -> int -> int; (* (revealed parent, child port) -> node id *)
+  w_stats : unit -> int * int * int; (* current n, depth, max degree *)
+  w_tree : unit -> Tree.t;
+}
+
+let world_of_tree tree =
+  (* w_stats is polled every round by the runner's termination bound:
+     memoize the O(n) scans. *)
+  let stats = lazy (Tree.n tree, Tree.depth tree, Tree.max_degree tree) in
+  {
+    w_capacity = Tree.n tree;
+    w_root = Tree.root tree;
+    w_degree = (fun ~node ~arriving:_ ~round:_ -> Tree.degree tree node);
+    w_child = (fun v p -> Tree.neighbor_via_port tree v p);
+    w_stats = (fun () -> Lazy.force stats);
+    w_tree = (fun () -> tree);
+  }
+
+type t = {
+  world : world;
+  view : Partial_tree.t;
+  k : int;
+  positions : int array;
+  mask : mask;
+  mutable blocker : reactive_blocker option;
+  mutable round : int;
+  mutable moves_total : int;
+  moves_per_robot : int array;
+  mutable edge_events : int;
+  up_seen : bool array;
+  mutable allowed_total : int;
+  mutable multi_reveals : int;
+}
+
+let of_world ?(mask = fun ~round:_ ~robot:_ -> true) world ~k =
+  if k < 1 then invalid_arg "Env.create: k must be >= 1";
+  let view = Partial_tree.Internal.create ~hidden_n:world.w_capacity ~root:world.w_root in
+  Partial_tree.Internal.reveal view world.w_root ~parent:None
+    ~num_ports:(world.w_degree ~node:world.w_root ~arriving:k ~round:0);
+  {
+    world;
+    view;
+    k;
+    positions = Array.make k world.w_root;
+    mask;
+    blocker = None;
+    round = 0;
+    moves_total = 0;
+    moves_per_robot = Array.make k 0;
+    edge_events = 0;
+    up_seen = Array.make world.w_capacity false;
+    allowed_total = 0;
+    multi_reveals = 0;
+  }
+
+let create ?mask tree ~k = of_world ?mask (world_of_tree tree) ~k
+
+let set_reactive_blocker t blocker = t.blocker <- Some blocker
+
+let k t = t.k
+let capacity t = t.world.w_capacity
+let round t = t.round
+let view t = t.view
+let position t i = t.positions.(i)
+let positions t = Array.copy t.positions
+let allowed t i = t.mask ~round:t.round ~robot:i
+
+let fully_explored t = Partial_tree.complete t.view
+
+let all_at_root t =
+  let root = Partial_tree.root t.view in
+  Array.for_all (fun p -> p = root) t.positions
+
+let moves_total t = t.moves_total
+let moves_of_robot t i = t.moves_per_robot.(i)
+let edge_events t = t.edge_events
+let allowed_total t = t.allowed_total
+let multi_reveals t = t.multi_reveals
+
+let oracle_n t =
+  let n, _, _ = t.world.w_stats () in
+  n
+
+let oracle_depth t =
+  let _, d, _ = t.world.w_stats () in
+  d
+
+let oracle_max_degree t =
+  let _, _, dd = t.world.w_stats () in
+  dd
+
+let oracle_tree t = t.world.w_tree ()
+
+(* Resolve a selection to its target node, validating legality from the
+   discovered tree only; remember the port of dangling crossings. *)
+let target_of t i move =
+  let pos = t.positions.(i) in
+  match move with
+  | Stay -> None
+  | Up -> (
+      match Partial_tree.parent t.view pos with
+      | None -> invalid_arg "Env.apply: Up selected at the root"
+      | Some p -> Some (p, None))
+  | Via_port p -> (
+      let nports = Partial_tree.num_ports t.view pos in
+      if p < 0 || p >= nports then invalid_arg "Env.apply: port out of range";
+      match Partial_tree.port t.view pos p with
+      | Partial_tree.To_parent -> Some (Option.get (Partial_tree.parent t.view pos), None)
+      | Partial_tree.Child c -> Some (c, None)
+      | Partial_tree.Dangling -> Some (t.world.w_child pos p, Some p))
+
+let apply t moves =
+  if Array.length moves <> t.k then invalid_arg "Env.apply: wrong arity";
+  (* Count this round's allowance and pin masked robots. The reactive
+     blocker (Remark 8) sees the selected moves before deciding. *)
+  let reactive =
+    match t.blocker with
+    | None -> Array.make t.k true
+    | Some blocker ->
+        let verdict = blocker ~round:t.round ~selected:(Array.copy moves) in
+        if Array.length verdict <> t.k then
+          invalid_arg "Env.apply: reactive blocker returned wrong arity";
+        verdict
+  in
+  let effective = Array.make t.k Stay in
+  for i = 0 to t.k - 1 do
+    if t.mask ~round:t.round ~robot:i && reactive.(i) then begin
+      t.allowed_total <- t.allowed_total + 1;
+      effective.(i) <- moves.(i)
+    end
+  done;
+  (* Validate and resolve all targets before mutating anything: moves are
+     synchronous. *)
+  let targets = Array.mapi (fun i m -> target_of t i m) effective in
+  let arriving_at dst =
+    Array.fold_left
+      (fun acc tgt -> match tgt with Some (d, _) when d = dst -> acc + 1 | _ -> acc)
+      0 targets
+  in
+  (* Apply. Dangling ports are resolved at most once even when several
+     robots cross the same new edge in the same round. *)
+  for i = 0 to t.k - 1 do
+    match targets.(i) with
+    | None -> ()
+    | Some (dst, crossed) ->
+        let src = t.positions.(i) in
+        t.positions.(i) <- dst;
+        t.moves_total <- t.moves_total + 1;
+        t.moves_per_robot.(i) <- t.moves_per_robot.(i) + 1;
+        if Partial_tree.is_explored t.view dst then begin
+          (* First child-to-parent crossing is an edge event. *)
+          if
+            Partial_tree.depth_of t.view dst < Partial_tree.depth_of t.view src
+            && not t.up_seen.(src)
+          then begin
+            t.up_seen.(src) <- true;
+            t.edge_events <- t.edge_events + 1
+          end
+        end
+        else begin
+          (* New node: resolve the crossed dangling port and reveal. *)
+          let p = Option.get crossed in
+          let arriving = arriving_at dst in
+          if arriving > 1 then t.multi_reveals <- t.multi_reveals + 1;
+          Partial_tree.Internal.resolve_dangling t.view src p dst;
+          Partial_tree.Internal.reveal t.view dst ~parent:(Some src)
+            ~num_ports:(t.world.w_degree ~node:dst ~arriving ~round:t.round);
+          t.edge_events <- t.edge_events + 1
+        end
+  done;
+  t.round <- t.round + 1

@@ -1,0 +1,265 @@
+type node = int
+
+type port_state = To_parent | Dangling | Child of node
+
+(* Per-port encoding inside [port_child]: -1 = leads to parent,
+   -2 = dangling, otherwise the explored child id. *)
+let enc_parent = -1
+let enc_dangling = -2
+
+type t = {
+  root : node;
+  explored : bool array;
+  nports : int array;
+  parents : int array;
+  depths : int array;
+  port_child : int array array;
+  dangling_cnt : int array;
+  subtree_dangling : int array;
+  open_at : (node, unit) Hashtbl.t option array; (* indexed by depth *)
+  mutable min_open_ptr : int;
+  mutable total_dangling : int;
+  mutable num_explored : int;
+}
+
+let root t = t.root
+let is_explored t v = t.explored.(v)
+let num_explored t = t.num_explored
+let num_dangling t = t.total_dangling
+let complete t = t.total_dangling = 0
+
+let check_explored t v name =
+  if not t.explored.(v) then invalid_arg (name ^ ": unexplored node")
+
+let num_ports t v =
+  check_explored t v "Partial_tree.num_ports";
+  t.nports.(v)
+
+let port t v p =
+  check_explored t v "Partial_tree.port";
+  if p < 0 || p >= t.nports.(v) then invalid_arg "Partial_tree.port: bad port";
+  let e = t.port_child.(v).(p) in
+  if e = enc_parent then To_parent
+  else if e = enc_dangling then Dangling
+  else Child e
+
+let dangling_ports t v =
+  check_explored t v "Partial_tree.dangling_ports";
+  let acc = ref [] in
+  let ports = t.port_child.(v) in
+  for p = Array.length ports - 1 downto 0 do
+    if ports.(p) = enc_dangling then acc := p :: !acc
+  done;
+  !acc
+
+let explored_children t v =
+  check_explored t v "Partial_tree.explored_children";
+  let acc = ref [] in
+  let ports = t.port_child.(v) in
+  for p = Array.length ports - 1 downto 0 do
+    if ports.(p) >= 0 then acc := (p, ports.(p)) :: !acc
+  done;
+  !acc
+
+let parent t v =
+  check_explored t v "Partial_tree.parent";
+  if v = t.root then None else Some t.parents.(v)
+
+let depth_of t v =
+  check_explored t v "Partial_tree.depth_of";
+  t.depths.(v)
+
+let is_open t v = t.explored.(v) && t.dangling_cnt.(v) > 0
+let is_closed t v = t.explored.(v) && t.dangling_cnt.(v) = 0
+let subtree_open t v =
+  check_explored t v "Partial_tree.subtree_open";
+  t.subtree_dangling.(v) > 0
+
+let max_depth_index t = Array.length t.open_at - 1
+
+let min_open_depth t =
+  if t.total_dangling = 0 then None
+  else begin
+    let d = ref t.min_open_ptr in
+    let bucket_empty d =
+      match t.open_at.(d) with None -> true | Some h -> Hashtbl.length h = 0
+    in
+    while !d <= max_depth_index t && bucket_empty !d do
+      incr d
+    done;
+    t.min_open_ptr <- !d;
+    if !d > max_depth_index t then None else Some !d
+  end
+
+let open_nodes_at_depth t d =
+  if d < 0 || d > max_depth_index t then []
+  else
+    match t.open_at.(d) with
+    | None -> []
+    | Some h -> Hashtbl.fold (fun v () acc -> v :: acc) h []
+
+let open_nodes_at_min_depth t =
+  match min_open_depth t with None -> [] | Some d -> open_nodes_at_depth t d
+
+let is_ancestor t a v =
+  check_explored t a "Partial_tree.is_ancestor";
+  check_explored t v "Partial_tree.is_ancestor";
+  let da = t.depths.(a) in
+  let rec up v = if t.depths.(v) < da then false else v = a || up t.parents.(v) in
+  up v
+
+let ports_from_root t v =
+  check_explored t v "Partial_tree.ports_from_root";
+  (* Walk up, recording at each parent the port that leads back down. *)
+  let rec up v acc =
+    if v = t.root then acc
+    else begin
+      let p = t.parents.(v) in
+      let ports = t.port_child.(p) in
+      let rec find i =
+        if i >= Array.length ports then
+          invalid_arg "Partial_tree.ports_from_root: broken parent link"
+        else if ports.(i) = v then i
+        else find (i + 1)
+      in
+      up p (find 0 :: acc)
+    end
+  in
+  up v []
+
+let fold_explored t ~init ~f =
+  let acc = ref init in
+  for v = 0 to Array.length t.explored - 1 do
+    if t.explored.(v) then acc := f !acc v
+  done;
+  !acc
+
+let bucket t d =
+  match t.open_at.(d) with
+  | Some h -> h
+  | None ->
+      let h = Hashtbl.create 8 in
+      t.open_at.(d) <- Some h;
+      h
+
+let add_open t v =
+  let d = t.depths.(v) in
+  Hashtbl.replace (bucket t d) v ();
+  if d < t.min_open_ptr then t.min_open_ptr <- d
+
+let remove_open t v =
+  match t.open_at.(t.depths.(v)) with
+  | None -> ()
+  | Some h -> Hashtbl.remove h v
+
+let bump_path t v delta =
+  let u = ref v in
+  let continue = ref true in
+  while !continue do
+    t.subtree_dangling.(!u) <- t.subtree_dangling.(!u) + delta;
+    if !u = t.root then continue := false else u := t.parents.(!u)
+  done
+
+let check_invariants t =
+  let fail msg = invalid_arg ("Partial_tree.check_invariants: " ^ msg) in
+  let n = Array.length t.explored in
+  let expected_total = ref 0 in
+  let expected_sub = Array.make n 0 in
+  for v = 0 to n - 1 do
+    if t.explored.(v) then begin
+      let cnt =
+        Array.fold_left
+          (fun acc e -> if e = enc_dangling then acc + 1 else acc)
+          0 t.port_child.(v)
+      in
+      if cnt <> t.dangling_cnt.(v) then fail "dangling_cnt mismatch";
+      expected_total := !expected_total + cnt;
+      (* Charge the dangling edges of [v] to every ancestor. *)
+      let u = ref v in
+      let continue = ref true in
+      while !continue do
+        expected_sub.(!u) <- expected_sub.(!u) + cnt;
+        if !u = t.root then continue := false else u := t.parents.(!u)
+      done;
+      let in_bucket =
+        match t.open_at.(t.depths.(v)) with
+        | None -> false
+        | Some h -> Hashtbl.mem h v
+      in
+      if (cnt > 0) <> in_bucket then fail "open-node index mismatch"
+    end
+  done;
+  if !expected_total <> t.total_dangling then fail "total_dangling mismatch";
+  for v = 0 to n - 1 do
+    if t.explored.(v) && expected_sub.(v) <> t.subtree_dangling.(v) then
+      fail "subtree_dangling mismatch"
+  done;
+  (match min_open_depth t with
+  | None -> if t.total_dangling <> 0 then fail "min_open_depth = None too early"
+  | Some d ->
+      if open_nodes_at_depth t d = [] then fail "empty min-depth bucket";
+      for d' = 0 to d - 1 do
+        if List.exists (fun v -> t.dangling_cnt.(v) > 0) (open_nodes_at_depth t d')
+        then fail "min_open_depth not minimal"
+      done)
+
+module Internal = struct
+  let create ~hidden_n ~root =
+    if hidden_n < 1 then invalid_arg "Partial_tree.create: empty tree";
+    if root < 0 || root >= hidden_n then invalid_arg "Partial_tree.create: bad root";
+    {
+      root;
+      explored = Array.make hidden_n false;
+      nports = Array.make hidden_n (-1);
+      parents = Array.make hidden_n (-1);
+      depths = Array.make hidden_n (-1);
+      port_child = Array.make hidden_n [||];
+      dangling_cnt = Array.make hidden_n 0;
+      subtree_dangling = Array.make hidden_n 0;
+      open_at = Array.make (hidden_n + 1) None;
+      min_open_ptr = 0;
+      total_dangling = 0;
+      num_explored = 0;
+    }
+
+  let reveal t v ~parent ~num_ports =
+    if t.explored.(v) then invalid_arg "Partial_tree.reveal: already explored";
+    (match parent with
+    | None ->
+        if v <> t.root then invalid_arg "Partial_tree.reveal: only the root has no parent";
+        t.depths.(v) <- 0
+    | Some p ->
+        if not t.explored.(p) then
+          invalid_arg "Partial_tree.reveal: parent must be explored";
+        t.parents.(v) <- p;
+        t.depths.(v) <- t.depths.(p) + 1);
+    t.explored.(v) <- true;
+    t.nports.(v) <- num_ports;
+    let ports = Array.make num_ports enc_dangling in
+    if v <> t.root then begin
+      if num_ports < 1 then invalid_arg "Partial_tree.reveal: non-root needs a parent port";
+      ports.(0) <- enc_parent
+    end;
+    t.port_child.(v) <- ports;
+    let cnt = num_ports - if v = t.root then 0 else 1 in
+    t.dangling_cnt.(v) <- cnt;
+    t.num_explored <- t.num_explored + 1;
+    if cnt > 0 then begin
+      t.total_dangling <- t.total_dangling + cnt;
+      bump_path t v cnt;
+      add_open t v
+    end
+
+  let resolve_dangling t v p c =
+    check_explored t v "Partial_tree.resolve_dangling";
+    if p < 0 || p >= t.nports.(v) then
+      invalid_arg "Partial_tree.resolve_dangling: bad port";
+    if t.port_child.(v).(p) <> enc_dangling then
+      invalid_arg "Partial_tree.resolve_dangling: port not dangling";
+    t.port_child.(v).(p) <- c;
+    t.parents.(c) <- v;
+    t.dangling_cnt.(v) <- t.dangling_cnt.(v) - 1;
+    t.total_dangling <- t.total_dangling - 1;
+    bump_path t v (-1);
+    if t.dangling_cnt.(v) = 0 then remove_open t v
+end

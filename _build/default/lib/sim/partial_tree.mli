@@ -1,0 +1,108 @@
+(** The partially explored tree [T_online = (V, E)] of Section 2.
+
+    [V] is the set of {e explored} nodes (occupied by at least one robot in
+    the past); [E] the set of {e discovered} edges (at least one explored
+    endpoint). A discovered edge with exactly one explored endpoint is
+    {e dangling}. Nodes reuse the hidden tree's integer ids, but this
+    structure only ever contains information already revealed to the
+    robots; algorithms must read the exploration state exclusively through
+    this interface.
+
+    Port numbering matches {!Bfdn_trees.Tree}: at an explored non-root node,
+    port [0] leads to the parent; other ports lead to children, each either
+    already explored ([Child]) or dangling. Exploration is complete exactly
+    when no dangling port remains. *)
+
+type t
+
+type node = int
+
+type port_state =
+  | To_parent  (** port 0 of a non-root node *)
+  | Dangling  (** discovered edge whose far endpoint is unexplored *)
+  | Child of node  (** explored edge to an explored child *)
+
+val root : t -> node
+
+val is_explored : t -> node -> bool
+
+val num_explored : t -> int
+
+val num_dangling : t -> int
+(** Total number of dangling edges; [0] iff exploration is complete. *)
+
+val complete : t -> bool
+
+val num_ports : t -> node -> int
+(** Degree of an explored node (revealed on first visit).
+    @raise Invalid_argument if the node is unexplored. *)
+
+val port : t -> node -> int -> port_state
+(** State of one port of an explored node. *)
+
+val dangling_ports : t -> node -> int list
+(** Ports of an explored node that are dangling, in increasing order. *)
+
+val explored_children : t -> node -> (int * node) list
+(** [(port, child)] pairs for explored children, in increasing port order. *)
+
+val parent : t -> node -> node option
+(** [None] for the root. Defined for explored nodes. *)
+
+val depth_of : t -> node -> int
+(** Distance to the root (known online: nodes are reached along discovered
+    edges). *)
+
+val is_open : t -> node -> bool
+(** Adjacent to at least one dangling edge (the paper's "open node"). *)
+
+val is_closed : t -> node -> bool
+(** Explored and not open. A node of the {e fully discovered} frontierless
+    region may still have open descendants; see {!subtree_open}. *)
+
+val subtree_open : t -> node -> bool
+(** Whether the discovered subtree below the node (inclusive) still contains
+    a dangling edge — i.e. whether [T(v)] is possibly not fully explored.
+    O(1): maintained incrementally. *)
+
+val min_open_depth : t -> int option
+(** Minimum depth of an open node, [None] when exploration is complete. *)
+
+val open_nodes_at_depth : t -> int -> node list
+(** All open nodes at one depth (unsorted). *)
+
+val open_nodes_at_min_depth : t -> node list
+(** [open_nodes_at_depth] at {!min_open_depth}; [[]] when complete. *)
+
+val is_ancestor : t -> node -> node -> bool
+(** [is_ancestor t a v]: [a] lies on the (discovered) path from [v] to the
+    root, inclusive of [v]. Both nodes must be explored. *)
+
+val ports_from_root : t -> node -> int list
+(** The port sequence leading from the root to an explored node — the
+    stack contents of Algorithm 1 line 8 (in traversal order). *)
+
+val fold_explored : t -> init:'a -> f:('a -> node -> 'a) -> 'a
+
+val check_invariants : t -> unit
+(** Exhaustive O(n·D) re-verification of the incremental bookkeeping
+    (dangling counters, open-node index). For tests.
+    @raise Invalid_argument on a broken invariant. *)
+
+(** Mutators, reserved to {!Env}: the simulator is the only component that
+    may reveal information. Calling these from algorithm code would be
+    cheating (reading the future); the test-suite exercises them only to
+    build fixtures. *)
+module Internal : sig
+  val create : hidden_n:int -> root:node -> t
+  (** Empty discovery state; the root is not yet revealed. *)
+
+  val reveal : t -> node -> parent:node option -> num_ports:int -> unit
+  (** Mark a node explored, with its full port count; all child ports start
+      dangling. [parent = None] only for the root. Idempotence is an error:
+      the caller must reveal each node exactly once. *)
+
+  val resolve_dangling : t -> node -> int -> node -> unit
+  (** [resolve_dangling t v p c] records that the dangling port [p] of [v]
+      leads to [c]. The caller must then {!reveal} [c] (same round). *)
+end

@@ -1,0 +1,50 @@
+type algo = {
+  name : string;
+  select : Env.t -> Env.move array;
+  finished : Env.t -> bool;
+}
+
+type result = {
+  rounds : int;
+  explored : bool;
+  at_root : bool;
+  moves : int;
+  edge_events : int;
+  hit_round_limit : bool;
+}
+
+let default_max_rounds env =
+  (3 * Env.oracle_n env * (Env.oracle_depth env + 2)) + 100
+
+let run ?max_rounds ?(on_round = fun _ -> ()) algo env =
+  (* Recomputed each round: against a lazily materialized world the
+     termination bound grows as nodes are revealed. *)
+  let limit () =
+    match max_rounds with Some m -> m | None -> default_max_rounds env
+  in
+  let hit_limit = ref false in
+  let continue = ref true in
+  while !continue do
+    if algo.finished env then continue := false
+    else if Env.round env >= limit () then begin
+      hit_limit := true;
+      continue := false
+    end
+    else begin
+      Env.apply env (algo.select env);
+      on_round env
+    end
+  done;
+  {
+    rounds = Env.round env;
+    explored = Env.fully_explored env;
+    at_root = Env.all_at_root env;
+    moves = Env.moves_total env;
+    edge_events = Env.edge_events env;
+    hit_round_limit = !hit_limit;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf "rounds=%d explored=%b at_root=%b moves=%d events=%d%s"
+    r.rounds r.explored r.at_root r.moves r.edge_events
+    (if r.hit_round_limit then " (HIT ROUND LIMIT)" else "")

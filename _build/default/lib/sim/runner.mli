@@ -1,0 +1,29 @@
+(** Round loop driving an online algorithm against an {!Env}. *)
+
+type algo = {
+  name : string;
+  select : Env.t -> Env.move array;
+      (** Produce this round's selection for every robot. Must not mutate
+          the environment. *)
+  finished : Env.t -> bool;
+      (** The algorithm's own termination condition, evaluated before each
+          round. *)
+}
+
+type result = {
+  rounds : int;
+  explored : bool;  (** all edges discovered and traversed *)
+  at_root : bool;  (** all robots back at the root on termination *)
+  moves : int;  (** total edge traversals *)
+  edge_events : int;
+  hit_round_limit : bool;
+}
+
+val run : ?max_rounds:int -> ?on_round:(Env.t -> unit) -> algo -> Env.t -> result
+(** Repeatedly query [select] and {!Env.apply} until [finished], the
+    environment is fully explored with the algorithm finished, or
+    [max_rounds] is reached (default: the termination bound
+    [3 * n * (D + 2) + 100] of Section 2.1, far above any correct run).
+    [on_round] is invoked after every applied round. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,118 @@
+type frame = {
+  round : int;
+  positions : int array;
+  explored : int;
+  dangling : int;
+}
+
+type t = { mutable rev_frames : frame list; mutable count : int }
+
+let create () = { rev_frames = []; count = 0 }
+
+let record t env =
+  let view = Env.view env in
+  let frame =
+    {
+      round = Env.round env;
+      positions = Env.positions env;
+      explored = Partial_tree.num_explored view;
+      dangling = Partial_tree.num_dangling view;
+    }
+  in
+  t.rev_frames <- frame :: t.rev_frames;
+  t.count <- t.count + 1
+
+let recorder t env = record t env
+
+let frames t = List.rev t.rev_frames
+
+let length t = t.count
+
+let render_frame env =
+  let view = Env.view env in
+  let buf = Buffer.create 512 in
+  let robots_at =
+    let table = Hashtbl.create 16 in
+    Array.iteri
+      (fun i pos ->
+        let prev = try Hashtbl.find table pos with Not_found -> [] in
+        Hashtbl.replace table pos (i :: prev))
+      (Env.positions env);
+    table
+  in
+  let robot_mark v =
+    match Hashtbl.find_opt robots_at v with
+    | None -> ""
+    | Some rs ->
+        let ids = List.rev_map string_of_int rs in
+        "  <- robots [" ^ String.concat "," ids ^ "]"
+  in
+  let rec draw v indent =
+    let dangle = List.length (Partial_tree.dangling_ports view v) in
+    Buffer.add_string buf indent;
+    Buffer.add_string buf (string_of_int v);
+    if dangle > 0 then Buffer.add_string buf (Printf.sprintf " (+%d?)" dangle);
+    Buffer.add_string buf (robot_mark v);
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun (_, c) -> draw c (indent ^ "  "))
+      (Partial_tree.explored_children view v)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "round %d: %d explored, %d dangling\n" (Env.round env)
+       (Partial_tree.num_explored view)
+       (Partial_tree.num_dangling view));
+  draw (Partial_tree.root view) "";
+  Buffer.contents buf
+
+let depth_timeline t env =
+  let view = Env.view env in
+  let frames = Array.of_list (frames t) in
+  let nframes = Array.length frames in
+  if nframes = 0 then "(no frames)\n"
+  else begin
+    let max_depth =
+      Array.fold_left
+        (fun acc f ->
+          Array.fold_left
+            (fun acc pos -> max acc (Partial_tree.depth_of view pos))
+            acc f.positions)
+        0 frames
+    in
+    let cols = min 72 nframes in
+    let rows = max_depth + 1 in
+    let counts = Array.make_matrix rows cols 0 in
+    for c = 0 to cols - 1 do
+      let f = frames.(c * nframes / cols) in
+      Array.iter
+        (fun pos ->
+          let d = Partial_tree.depth_of view pos in
+          counts.(d).(c) <- counts.(d).(c) + 1)
+        f.positions
+    done;
+    let glyph n =
+      if n = 0 then '.'
+      else if n <= 2 then ':'
+      else if n <= 5 then 'o'
+      else if n <= 10 then 'O'
+      else '@'
+    in
+    let header = Printf.sprintf "robots per depth over time (%d frames):\n" nframes in
+    let legend =
+      Bfdn_util.Ascii.legend
+        [ ('.', "0"); (':', "1-2"); ('o', "3-5"); ('O', "6-10"); ('@', ">10") ]
+    in
+    let buf = Buffer.create (rows * (cols + 8)) in
+    Buffer.add_string buf header;
+    for d = 0 to rows - 1 do
+      Buffer.add_string buf (Printf.sprintf "d=%-3d " d);
+      for c = 0 to cols - 1 do
+        Buffer.add_char buf (glyph counts.(d).(c))
+      done;
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf "      time ->\n";
+    Buffer.add_string buf legend;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+  end

@@ -1,0 +1,38 @@
+(** Exploration traces and small-scale ASCII rendering.
+
+    Attach {!recorder} to {!Runner.run}'s [on_round] hook to capture one
+    frame per round; {!render} then draws the discovered tree with robot
+    positions, which the examples use as a terminal animation. *)
+
+type frame = {
+  round : int;
+  positions : int array;
+  explored : int;  (** nodes explored so far *)
+  dangling : int;
+}
+
+type t
+
+val create : unit -> t
+
+val recorder : t -> Env.t -> unit
+(** To be used as [~on_round:(Trace.recorder trace)]. *)
+
+val record : t -> Env.t -> unit
+(** Capture the current state as a frame (used for the initial state). *)
+
+val frames : t -> frame list
+(** In chronological order. *)
+
+val length : t -> int
+
+val render_frame : Env.t -> string
+(** Indented rendering of the current discovered tree; each line shows one
+    node, its dangling-port count, and the robots standing on it. Intended
+    for trees of at most a few dozen nodes. *)
+
+val depth_timeline : t -> Env.t -> string
+(** Heat-map of robot counts per depth (rows) over time (columns, one per
+    recorded frame, subsampled to fit 72 columns): the breadth-first wave
+    of BFDN is visible as a diagonal front. Uses the final environment to
+    resolve node depths. *)

@@ -1,0 +1,87 @@
+type node = int
+
+type board = {
+  num_ports : int;
+  min_down_port : int; (* 1 for non-root nodes (port 0 is the parent), 0 at the root *)
+  mutable next : int; (* upper bound on the next port to dispatch, descending *)
+  dispatched : bool array;
+  finished : bool array;
+}
+
+type t = { boards : board option array }
+
+let create ~hidden_n = { boards = Array.make hidden_n None }
+
+let initialized t v = t.boards.(v) <> None
+
+let init_node t v ~num_ports ~is_root =
+  match t.boards.(v) with
+  | Some _ -> ()
+  | None ->
+      let min_down_port = if is_root then 0 else 1 in
+      t.boards.(v) <-
+        Some
+          {
+            num_ports;
+            min_down_port;
+            next = num_ports - 1;
+            dispatched = Array.make num_ports false;
+            finished = Array.make num_ports false;
+          }
+
+let get t v name =
+  match t.boards.(v) with
+  | Some b -> b
+  | None -> invalid_arg (name ^ ": whiteboard not initialized")
+
+let partition t v =
+  let b = get t v "Whiteboard.partition" in
+  while b.next >= b.min_down_port && b.dispatched.(b.next) do
+    b.next <- b.next - 1
+  done;
+  if b.next < b.min_down_port then None
+  else begin
+    let p = b.next in
+    b.dispatched.(p) <- true;
+    b.next <- b.next - 1;
+    Some p
+  end
+
+let mark_dispatched t v p =
+  let b = get t v "Whiteboard.mark_dispatched" in
+  if p < 0 || p >= b.num_ports then invalid_arg "Whiteboard.mark_dispatched: bad port";
+  b.dispatched.(p) <- true
+
+let mark_finished t v p =
+  let b = get t v "Whiteboard.mark_finished" in
+  if p < 0 || p >= b.num_ports then invalid_arg "Whiteboard.mark_finished: bad port";
+  b.finished.(p) <- true
+
+let is_finished t v p =
+  let b = get t v "Whiteboard.is_finished" in
+  if p < 0 || p >= b.num_ports then invalid_arg "Whiteboard.is_finished: bad port";
+  b.finished.(p)
+
+let finished_ports t v =
+  let b = get t v "Whiteboard.finished_ports" in
+  let acc = ref [] in
+  for p = b.num_ports - 1 downto 0 do
+    if b.finished.(p) then acc := p :: !acc
+  done;
+  !acc
+
+let all_dispatched t v =
+  let b = get t v "Whiteboard.all_dispatched" in
+  let ok = ref true in
+  for p = b.min_down_port to b.num_ports - 1 do
+    if not b.dispatched.(p) then ok := false
+  done;
+  !ok
+
+let all_finished t v =
+  let b = get t v "Whiteboard.all_finished" in
+  let ok = ref true in
+  for p = b.min_down_port to b.num_ports - 1 do
+    if not b.finished.(p) then ok := false
+  done;
+  !ok

@@ -1,0 +1,47 @@
+(** Per-node whiteboards for the restricted-communication model (Section
+    4.1).
+
+    Every node carries a small local memory that robots standing on the
+    node may read and write. It implements the paper's [PARTITION] routine:
+    ports are dispatched at most once each, in descending order, so that no
+    two robots are ever sent down the same port and a robot sent through
+    port [j] knows that all ports [j' >= j] were already dispatched.
+
+    Distribution discipline (a robot only touches the whiteboard of the
+    node it stands on) is the caller's responsibility; {!Bfdn.Bfdn_planner}
+    is the only client and respects it by construction. *)
+
+type t
+
+type node = int
+
+val create : hidden_n:int -> t
+
+val init_node : t -> node -> num_ports:int -> is_root:bool -> unit
+(** Install the whiteboard of a newly visited node; idempotent. *)
+
+val initialized : t -> node -> bool
+
+val partition : t -> node -> int option
+(** Dispatch the next down-port of the node (descending). [None] once all
+    down-ports are dispatched — the robot must then head up (port 0). *)
+
+val mark_dispatched : t -> node -> int -> unit
+(** Withdraw a port from the [partition] pool without a [partition] call —
+    used when a robot enters the port while walking to a planner-assigned
+    anchor, so wandering robots never re-enter an actively assigned
+    subtree. Idempotent. *)
+
+val mark_finished : t -> node -> int -> unit
+(** Record that a robot has returned (come back up) from this port. *)
+
+val is_finished : t -> node -> int -> bool
+
+val finished_ports : t -> node -> int list
+(** Increasing order. *)
+
+val all_dispatched : t -> node -> bool
+(** All down-ports have been handed out. *)
+
+val all_finished : t -> node -> bool
+(** All down-ports finished: a robot has returned from each child. *)

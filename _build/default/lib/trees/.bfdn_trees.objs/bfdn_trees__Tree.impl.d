@@ -1,0 +1,1 @@
+lib/trees/tree.ml: Array Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/trees/tree_gen.ml: Array Bfdn_util Tree

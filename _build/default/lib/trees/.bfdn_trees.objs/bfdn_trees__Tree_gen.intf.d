@@ -1,0 +1,1 @@
+lib/trees/tree_gen.mli: Bfdn_util Tree

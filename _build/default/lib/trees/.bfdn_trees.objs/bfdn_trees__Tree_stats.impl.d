@@ -1,0 +1,1 @@
+lib/trees/tree_stats.ml: Array Bfdn_util Format Tree

@@ -1,0 +1,1 @@
+lib/trees/tree_stats.mli: Format Tree

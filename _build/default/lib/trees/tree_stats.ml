@@ -1,0 +1,38 @@
+type t = {
+  n : int;
+  edges : int;
+  depth : int;
+  max_degree : int;
+  leaves : int;
+  avg_branching : float;
+}
+
+let compute tree =
+  let n = Tree.n tree in
+  let leaves = ref 0 in
+  let internal = ref 0 in
+  let child_total = ref 0 in
+  Tree.iter_nodes tree (fun v ->
+      let c = Array.length (Tree.children tree v) in
+      if c = 0 then incr leaves
+      else begin
+        incr internal;
+        child_total := !child_total + c
+      end);
+  {
+    n;
+    edges = n - 1;
+    depth = Tree.depth tree;
+    max_degree = Tree.max_degree tree;
+    leaves = !leaves;
+    avg_branching =
+      (if !internal = 0 then 0.0
+       else float_of_int !child_total /. float_of_int !internal);
+  }
+
+let pp ppf s =
+  Format.fprintf ppf "n=%d D=%d Δ=%d leaves=%d branching=%.2f" s.n s.depth
+    s.max_degree s.leaves s.avg_branching
+
+let offline_lower_bound ~n ~k ~depth =
+  max (Bfdn_util.Mathx.ceil_div (2 * (n - 1)) k) (2 * depth)

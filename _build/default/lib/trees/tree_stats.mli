@@ -1,0 +1,18 @@
+(** Summary statistics of a tree instance, for experiment reporting. *)
+
+type t = {
+  n : int;  (** number of nodes *)
+  edges : int;
+  depth : int;  (** D *)
+  max_degree : int;  (** Δ *)
+  leaves : int;
+  avg_branching : float;  (** mean child count over internal nodes *)
+}
+
+val compute : Tree.t -> t
+
+val pp : Format.formatter -> t -> unit
+
+val offline_lower_bound : n:int -> k:int -> depth:int -> int
+(** [max (ceil (2n/k)) (2D)] — no k-robot traversal finishes faster
+    (every edge crossed twice; the deepest node reached and left). *)

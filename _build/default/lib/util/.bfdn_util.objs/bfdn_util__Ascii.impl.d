@@ -1,0 +1,1 @@
+lib/util/ascii.ml: Buffer Float List Printf String

@@ -1,0 +1,52 @@
+let grid ?(x_label = "") ?(y_label = "") ~rows ~cols ~cell () =
+  let buf = Buffer.create ((rows + 3) * (cols + 4)) in
+  if y_label <> "" then begin
+    Buffer.add_string buf y_label;
+    Buffer.add_char buf '\n'
+  end;
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make cols '-');
+  Buffer.add_string buf "+\n";
+  for r = rows - 1 downto 0 do
+    Buffer.add_char buf '|';
+    for c = 0 to cols - 1 do
+      Buffer.add_char buf (cell ~row:r ~col:c)
+    done;
+    Buffer.add_string buf "|\n"
+  done;
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make cols '-');
+  Buffer.add_string buf "+\n";
+  if x_label <> "" then begin
+    Buffer.add_string buf (String.make (max 0 (cols - String.length x_label)) ' ');
+    Buffer.add_string buf x_label;
+    Buffer.add_char buf '\n'
+  end;
+  Buffer.contents buf
+
+let bar_chart entries =
+  let width = 50 in
+  let top =
+    List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 entries
+  in
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries
+  in
+  let buf = Buffer.create 256 in
+  let emit (label, v) =
+    let n =
+      if top <= 0.0 then 0
+      else int_of_float (Float.round (v /. top *. float_of_int width))
+    in
+    Buffer.add_string buf label;
+    Buffer.add_string buf (String.make (label_width - String.length label) ' ');
+    Buffer.add_string buf " | ";
+    Buffer.add_string buf (String.make n '#');
+    Buffer.add_string buf (Printf.sprintf " %.1f\n" v)
+  in
+  List.iter emit entries;
+  Buffer.contents buf
+
+let legend items =
+  String.concat "   "
+    (List.map (fun (c, meaning) -> Printf.sprintf "%c = %s" c meaning) items)

@@ -1,0 +1,18 @@
+(** ASCII renderings (region maps, bar charts) for terminal output. *)
+
+val grid :
+  ?x_label:string ->
+  ?y_label:string ->
+  rows:int ->
+  cols:int ->
+  cell:(row:int -> col:int -> char) ->
+  unit ->
+  string
+(** [grid ~rows ~cols ~cell ()] renders a character grid with row 0 printed
+    last (so the y axis grows upward), with a simple frame. *)
+
+val bar_chart : (string * float) list -> string
+(** Horizontal bar chart scaled to the largest value; one line per entry. *)
+
+val legend : (char * string) list -> string
+(** One-line legend: "x = meaning   y = meaning ...". *)

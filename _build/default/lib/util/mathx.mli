@@ -1,0 +1,27 @@
+(** Arithmetic helpers shared by the guarantee formulas and algorithms. *)
+
+val log_nat : int -> float
+(** Natural logarithm of a positive integer. *)
+
+val log2i : int -> int
+(** [log2i n] is [floor (log2 n)] for [n >= 1], computed exactly. *)
+
+val ceil_log2 : int -> int
+(** Smallest [e] with [2^e >= n], for [n >= 1]. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is the ceiling of [a/b] for [a >= 0], [b > 0]. *)
+
+val pow : int -> int -> int
+(** [pow b e] integer power, [e >= 0]. *)
+
+val iroot : int -> int -> int
+(** [iroot x l] is the largest [r >= 1] with [r^l <= x], for [x >= 1],
+    [l >= 1]. *)
+
+val fpow : float -> float -> float
+(** Floating-point power (alias of [( ** )], named to avoid precedence
+    surprises inside formulas). *)
+
+val clamp : int -> int -> int -> int
+(** [clamp lo hi x] limits [x] to the interval [\[lo, hi\]]. *)

@@ -1,0 +1,81 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  caption : string option;
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reverse order *)
+}
+
+let create ?caption columns =
+  {
+    caption;
+    headers = List.map fst columns;
+    aligns = List.map snd columns;
+    rows = [];
+  }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let render t =
+  let rows = List.rev t.rows in
+  let all_cells =
+    t.headers :: List.filter_map (function Cells c -> Some c | Rule -> None) rows
+  in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  List.iter measure all_cells;
+  let buf = Buffer.create 1024 in
+  (match t.caption with
+  | Some c ->
+      Buffer.add_string buf c;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  let emit_cells cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        let align = List.nth t.aligns i in
+        Buffer.add_string buf (pad align widths.(i) c))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (2 * (ncols - 1))
+  in
+  let emit_rule () =
+    Buffer.add_string buf (String.make total_width '-');
+    Buffer.add_char buf '\n'
+  in
+  emit_cells t.headers;
+  emit_rule ();
+  List.iter (function Cells c -> emit_cells c | Rule -> emit_rule ()) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t); print_newline ()
+
+let fint = string_of_int
+
+let ffloat ?(decimals = 1) x = Printf.sprintf "%.*f" decimals x
+
+let fratio x = Printf.sprintf "%.3f" x
+
+let fbool b = if b then "yes" else "NO"

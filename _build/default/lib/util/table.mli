@@ -1,0 +1,34 @@
+(** Aligned plain-text tables for experiment output.
+
+    The bench harness prints one table per reproduced figure/claim; this
+    module keeps the formatting uniform (right-aligned numeric columns,
+    a header rule, and an optional caption). *)
+
+type align = Left | Right
+
+type t
+
+val create : ?caption:string -> (string * align) list -> t
+(** [create ~caption columns] starts an empty table with the given header. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row; the row length must match the number of columns. *)
+
+val add_rule : t -> unit
+(** Appends a horizontal separator row. *)
+
+val render : t -> string
+(** Renders the whole table, caption first. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+(** Cell formatting helpers. *)
+
+val fint : int -> string
+val ffloat : ?decimals:int -> float -> string
+val fratio : float -> string
+(** Ratio with 3 decimals. *)
+
+val fbool : bool -> string
+(** ["yes"] / ["NO"] — violations stand out. *)

@@ -1,0 +1,1 @@
+test/test_adversary.ml: Alcotest Bfdn Bfdn_baselines Bfdn_sim Bfdn_trees Bfdn_util List QCheck QCheck_alcotest

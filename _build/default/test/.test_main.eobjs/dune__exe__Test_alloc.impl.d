@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Array Bfdn_alloc Bfdn_util QCheck QCheck_alcotest

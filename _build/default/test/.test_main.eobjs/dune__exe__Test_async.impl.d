@@ -1,0 +1,1 @@
+test/test_async.ml: Alcotest Array Bfdn Bfdn_sim Bfdn_trees Bfdn_util Float Gen List Option Printf QCheck QCheck_alcotest

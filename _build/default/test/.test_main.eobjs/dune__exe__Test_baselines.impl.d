@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Bfdn_baselines Bfdn_sim Bfdn_trees Bfdn_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_bfdn.ml: Alcotest Array Bfdn Bfdn_baselines Bfdn_sim Bfdn_trees Bfdn_util Hashtbl List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Array Bfdn Float List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_graphs.ml: Alcotest Array Bfdn Bfdn_graphs Bfdn_util Fun List Printf QCheck QCheck_alcotest String

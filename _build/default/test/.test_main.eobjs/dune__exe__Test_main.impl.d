@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_adversary Test_alloc Test_async Test_baselines Test_bfdn Test_bounds Test_graphs Test_planner Test_rec Test_sim Test_trees Test_urn Test_util

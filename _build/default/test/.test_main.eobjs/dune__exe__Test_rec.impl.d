@@ -1,0 +1,1 @@
+test/test_rec.ml: Alcotest Array Bfdn Bfdn_sim Bfdn_trees Bfdn_util List Printf QCheck QCheck_alcotest

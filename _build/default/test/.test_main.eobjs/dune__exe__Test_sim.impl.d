@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Bfdn Bfdn_sim Bfdn_trees Bfdn_util List QCheck QCheck_alcotest String

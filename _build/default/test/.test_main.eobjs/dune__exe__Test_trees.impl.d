@@ -1,0 +1,1 @@
+test/test_trees.ml: Alcotest Array Bfdn_trees Bfdn_util Hashtbl List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_urn.ml: Alcotest Array Bfdn Bfdn_util List Printf QCheck QCheck_alcotest String

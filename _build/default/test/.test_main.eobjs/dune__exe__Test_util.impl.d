@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bfdn_util Float Fun Gen List QCheck QCheck_alcotest String

@@ -1,0 +1,149 @@
+(* Tests for the adaptive tree-building adversary: budget respect, frozen
+   trees, replay determinism, and the fact that Theorem 1 holds even on
+   adaptively built instances (they freeze into ordinary trees). *)
+
+module Tree = Bfdn_trees.Tree
+module Env = Bfdn_sim.Env
+module Runner = Bfdn_sim.Runner
+module Adversary = Bfdn_sim.Adversary
+module Rng = Bfdn_util.Rng
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let bfdn_algo env = Bfdn.Bfdn_algo.algo (Bfdn.Bfdn_algo.make env)
+
+let run_adaptive make_algo adv k =
+  let env = Env.of_world (Adversary.world adv) ~k in
+  (env, Runner.run (make_algo env) env)
+
+let test_budgets_respected () =
+  let adv = Adversary.make ~capacity:500 ~depth_budget:12 Adversary.greedy_widest in
+  let _, r = run_adaptive bfdn_algo adv 8 in
+  checkb "explored" true r.explored;
+  let tree = Adversary.frozen adv in
+  Tree.validate tree;
+  checkb "capacity respected" true (Tree.n tree <= 500);
+  checkb "depth respected" true (Tree.depth tree <= 12)
+
+let test_miser_builds_path () =
+  let adv = Adversary.make ~capacity:100 ~depth_budget:99 Adversary.miser in
+  let _, r = run_adaptive bfdn_algo adv 3 in
+  checkb "explored" true r.explored;
+  let tree = Adversary.frozen adv in
+  checki "path nodes" 100 (Tree.n tree);
+  checki "path depth" 99 (Tree.depth tree);
+  checki "path max degree" 2 (Tree.max_degree tree)
+
+let test_greedy_widest_builds_star () =
+  let adv = Adversary.make ~capacity:200 ~depth_budget:10 Adversary.greedy_widest in
+  let _, r = run_adaptive bfdn_algo adv 5 in
+  checkb "explored" true r.explored;
+  let tree = Adversary.frozen adv in
+  checki "star" 1 (Tree.depth tree);
+  checki "all budget spent" 200 (Tree.n tree)
+
+let test_thick_comb_shape () =
+  let adv = Adversary.make_rec ~capacity:300 ~depth_budget:60 Adversary.thick_comb in
+  let _, r = run_adaptive bfdn_algo adv 6 in
+  checkb "explored" true r.explored;
+  let tree = Adversary.frozen adv in
+  Tree.validate tree;
+  checkb "comb-like: n ~ 2 D" true (Tree.n tree >= (2 * Tree.depth tree) - 2);
+  checki "max degree 3" 3 (Tree.max_degree tree)
+
+let replay_identical make_algo make_adv k =
+  let adv = make_adv () in
+  let _, r1 = run_adaptive make_algo adv k in
+  let tree = Adversary.frozen adv in
+  let env2 = Env.create tree ~k in
+  let r2 = Runner.run (make_algo env2) env2 in
+  r1.explored && r2.explored && r1.rounds = r2.rounds && r1.moves = r2.moves
+
+let test_replay_determinism () =
+  List.iter
+    (fun k ->
+      checkb "bfdn replay" true
+        (replay_identical bfdn_algo
+           (fun () ->
+             Adversary.make ~capacity:600 ~depth_budget:40
+               (Adversary.corridor_crowds ~threshold:3))
+           k);
+      checkb "cte replay" true
+        (replay_identical Bfdn_baselines.Cte.make
+           (fun () -> Adversary.make_rec ~capacity:400 ~depth_budget:80 Adversary.thick_comb)
+           k))
+    [ 2; 9; 33 ]
+
+let prop_theorem1_adaptive =
+  QCheck.Test.make ~name:"Theorem 1 holds on adaptively built trees" ~count:40
+    QCheck.(triple (int_range 2 300) (int_range 1 24) (int_range 0 10_000))
+    (fun (capacity, k, seed) ->
+      let adv =
+        Adversary.make ~capacity ~depth_budget:(max 1 (capacity / 3))
+          (Adversary.random_policy (Rng.create seed) ~max_children:4)
+      in
+      let env, r = run_adaptive bfdn_algo adv k in
+      let tree = Adversary.frozen adv in
+      Tree.validate tree;
+      let bound =
+        Bfdn.Bounds.bfdn ~n:(Tree.n tree) ~k ~d:(Tree.depth tree)
+          ~delta:(Tree.max_degree tree)
+      in
+      ignore env;
+      r.explored && float_of_int r.rounds <= bound)
+
+let prop_planner_adaptive =
+  QCheck.Test.make ~name:"Proposition 6 holds on adaptively built trees" ~count:25
+    QCheck.(triple (int_range 2 200) (int_range 1 16) (int_range 0 10_000))
+    (fun (capacity, k, seed) ->
+      let adv =
+        Adversary.make ~capacity ~depth_budget:(max 1 (capacity / 3))
+          (Adversary.random_policy (Rng.create seed) ~max_children:4)
+      in
+      let env = Env.of_world (Adversary.world adv) ~k in
+      let t = Bfdn.Bfdn_planner.make env in
+      let r = Runner.run (Bfdn.Bfdn_planner.algo t) env in
+      let tree = Adversary.frozen adv in
+      let bound =
+        Bfdn.Bounds.bfdn_writeread ~n:(Tree.n tree) ~k ~d:(Tree.depth tree)
+          ~delta:(Tree.max_degree tree)
+      in
+      r.explored && r.at_root && float_of_int r.rounds <= bound)
+
+let test_accessors () =
+  let adv = Adversary.make ~capacity:50 ~depth_budget:10 Adversary.miser in
+  let _, r = run_adaptive bfdn_algo adv 2 in
+  checkb "explored" true r.explored;
+  checki "root parent" (-1) (Adversary.parent_of adv 0);
+  checki "depth of root" 0 (Adversary.depth_of_node adv 0);
+  checki "first child index" 0 (Adversary.child_index adv 1);
+  (* miser with depth budget 10: a path of 10 edges *)
+  checki "nodes built" 11 (Adversary.nodes_built adv)
+
+let test_world_single_use () =
+  (* Revealing the same node twice means two environments share one
+     adversary — rejected. *)
+  let adv = Adversary.make ~capacity:10 ~depth_budget:3 Adversary.miser in
+  let _ = Env.of_world (Adversary.world adv) ~k:1 in
+  checkb "second env rejected" true
+    (try
+       ignore (Env.of_world (Adversary.world adv) ~k:1);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let qc t = QCheck_alcotest.to_alcotest t in
+  ( "adversary",
+    [
+      tc "budgets respected" test_budgets_respected;
+      tc "miser builds a path" test_miser_builds_path;
+      tc "greedy widest builds a star" test_greedy_widest_builds_star;
+      tc "thick comb shape" test_thick_comb_shape;
+      tc "replay determinism" test_replay_determinism;
+      qc prop_theorem1_adaptive;
+      qc prop_planner_adaptive;
+      tc "accessors" test_accessors;
+      tc "world single use" test_world_single_use;
+    ] )

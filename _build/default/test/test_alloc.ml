@@ -1,0 +1,106 @@
+(* Tests for the online resource-allocation application (Section 3's
+   interpretation of the urn game). *)
+
+module Alloc = Bfdn_alloc.Alloc
+module Rng = Bfdn_util.Rng
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_validation () =
+  checkb "empty" true
+    (try
+       ignore (Alloc.simulate ~lengths:[||] ());
+       false
+     with Invalid_argument _ -> true);
+  checkb "negative" true
+    (try
+       ignore (Alloc.simulate ~lengths:[| 1; -2 |] ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_uniform_tasks_no_switches () =
+  (* Equal tasks with one worker each finish simultaneously: no switch. *)
+  let r = Alloc.simulate ~lengths:(Array.make 8 10) () in
+  checki "switches" 0 r.switches;
+  checki "rounds" 10 r.rounds;
+  checki "no waste" 0 r.wasted_work
+
+let test_zero_length_tasks () =
+  let r = Alloc.simulate ~lengths:[| 0; 0; 0; 12 |] () in
+  checkb "finishes" true (r.rounds > 0);
+  (* three idle workers redeploy onto the only real task *)
+  checki "switches" 3 r.switches;
+  checki "rounds" 3 r.rounds
+
+let test_single_task () =
+  let r = Alloc.simulate ~lengths:[| 17 |] () in
+  checki "rounds" 17 r.rounds;
+  checki "switches" 0 r.switches
+
+let test_makespan_lower_bound () =
+  let rng = Rng.create 6 in
+  let lengths = Alloc.random_lengths ~rng ~k:16 ~total:1600 in
+  let r = Alloc.simulate ~lengths () in
+  checkb "makespan >= total/k" true (r.rounds >= 1600 / 16)
+
+let prop_switch_bound_random =
+  QCheck.Test.make ~name:"switch bound on random compositions" ~count:150
+    QCheck.(pair (int_range 1 200) (int_range 0 5000))
+    (fun (k, total) ->
+      let lengths = Alloc.random_lengths ~rng:(Rng.create (k + total)) ~k ~total in
+      let r = Alloc.simulate ~lengths () in
+      float_of_int r.switches <= Alloc.switches_bound ~k)
+
+let prop_switch_bound_adversarial =
+  QCheck.Test.make ~name:"switch bound on geometric profiles" ~count:100
+    QCheck.(pair (int_range 1 300) (int_range 0 10000))
+    (fun (k, total) ->
+      let lengths = Alloc.adversarial_lengths ~k ~total in
+      let r = Alloc.simulate ~lengths () in
+      float_of_int r.switches <= Alloc.switches_bound ~k)
+
+let prop_all_work_done =
+  QCheck.Test.make ~name:"makespan between total/k and total" ~count:100
+    QCheck.(pair (int_range 1 50) (int_range 1 2000))
+    (fun (k, total) ->
+      let lengths = Alloc.random_lengths ~rng:(Rng.create (k * 7 + total)) ~k ~total in
+      let r = Alloc.simulate ~lengths () in
+      r.rounds >= Bfdn_util.Mathx.ceil_div total k && r.rounds <= total)
+
+let test_least_crowded_beats_most_crowded () =
+  let lengths = Alloc.adversarial_lengths ~k:64 ~total:6400 in
+  let good = Alloc.simulate ~policy:Alloc.Least_crowded ~lengths () in
+  let bad = Alloc.simulate ~policy:Alloc.Most_crowded ~lengths () in
+  checkb "least-crowded is no slower" true (good.rounds <= bad.rounds)
+
+let test_random_policy_terminates () =
+  let lengths = Alloc.adversarial_lengths ~k:32 ~total:3200 in
+  let r = Alloc.simulate ~policy:(Alloc.Random_task (Rng.create 3)) ~lengths () in
+  checkb "finishes" true (r.rounds > 0)
+
+let test_lengths_generators () =
+  let rng = Rng.create 10 in
+  let rand = Alloc.random_lengths ~rng ~k:10 ~total:100 in
+  checki "random total" 100 (Array.fold_left ( + ) 0 rand);
+  let adv = Alloc.adversarial_lengths ~k:10 ~total:100 in
+  checki "adversarial total" 100 (Array.fold_left ( + ) 0 adv);
+  checkb "geometric head" true (adv.(0) = 50)
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let qc t = QCheck_alcotest.to_alcotest t in
+  ( "alloc",
+    [
+      tc "validation" test_validation;
+      tc "uniform tasks no switches" test_uniform_tasks_no_switches;
+      tc "zero-length tasks" test_zero_length_tasks;
+      tc "single task" test_single_task;
+      tc "makespan lower bound" test_makespan_lower_bound;
+      qc prop_switch_bound_random;
+      qc prop_switch_bound_adversarial;
+      qc prop_all_work_done;
+      tc "least-crowded beats most-crowded" test_least_crowded_beats_most_crowded;
+      tc "random policy terminates" test_random_policy_terminates;
+      tc "lengths generators" test_lengths_generators;
+    ] )

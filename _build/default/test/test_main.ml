@@ -1,0 +1,19 @@
+(* Aggregated alcotest entry point: one suite per library. *)
+
+let () =
+  Alcotest.run "bfdn"
+    [
+      Test_util.suite;
+      Test_trees.suite;
+      Test_sim.suite;
+      Test_bfdn.suite;
+      Test_urn.suite;
+      Test_planner.suite;
+      Test_graphs.suite;
+      Test_rec.suite;
+      Test_baselines.suite;
+      Test_alloc.suite;
+      Test_bounds.suite;
+      Test_adversary.suite;
+      Test_async.suite;
+    ]

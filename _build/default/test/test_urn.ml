@@ -1,0 +1,203 @@
+(* Tests for the Section 3 balls-in-urns game: Theorem 3, the R(N, u)
+   dynamic program, strategy behaviour, and custom initial conditions. *)
+
+module Urn_game = Bfdn.Urn_game
+module Rng = Bfdn_util.Rng
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let play_fresh ~delta ~k adversary player =
+  Urn_game.play (Urn_game.create ~delta ~k) adversary player
+
+(* ---- board mechanics ---- *)
+
+let test_board_initial () =
+  let b = Urn_game.create ~delta:4 ~k:5 in
+  checki "k" 5 (Urn_game.k b);
+  checki "delta" 4 (Urn_game.delta b);
+  checki "virgin count" 5 (Urn_game.virgin_count b);
+  checki "virgin balls" 5 (Urn_game.virgin_balls b);
+  checkb "not finished (delta > 1)" false (Urn_game.finished b);
+  checki "loads" 1 (Urn_game.load b 3)
+
+let test_board_delta_one_finished_immediately () =
+  let b = Urn_game.create ~delta:1 ~k:4 in
+  checkb "finished at start" true (Urn_game.finished b);
+  checki "zero steps" 0 (Urn_game.play b Urn_game.adversary_greedy Urn_game.player_least_loaded)
+
+let test_custom_board () =
+  let b =
+    Urn_game.create_custom ~delta:3 ~loads:[| 5; 1; 1; 1 |]
+      ~virgin:[| false; true; true; true |]
+  in
+  checki "virgin count" 3 (Urn_game.virgin_count b);
+  checki "virgin balls" 3 (Urn_game.virgin_balls b)
+
+let test_custom_board_validation () =
+  checkb "negative load" true
+    (try
+       ignore (Urn_game.create_custom ~delta:2 ~loads:[| -1 |] ~virgin:[| true |]);
+       false
+     with Invalid_argument _ -> true);
+  checkb "length mismatch" true
+    (try
+       ignore (Urn_game.create_custom ~delta:2 ~loads:[| 1; 1 |] ~virgin:[| true |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Theorem 3 ---- *)
+
+let test_theorem3_greedy_adversary () =
+  List.iter
+    (fun (k, delta) ->
+      let steps = play_fresh ~delta ~k Urn_game.adversary_greedy Urn_game.player_least_loaded in
+      checkb
+        (Printf.sprintf "k=%d delta=%d within bound" k delta)
+        true
+        (float_of_int steps <= Urn_game.bound ~delta ~k))
+    [ (1, 1); (2, 2); (3, 3); (8, 8); (64, 64); (500, 500); (100, 7); (7, 100); (256, 2) ]
+
+let prop_theorem3_random_adversary =
+  QCheck.Test.make ~name:"Theorem 3 bound under random adversaries" ~count:200
+    QCheck.(triple (int_range 1 100) (int_range 1 100) (int_range 0 10000))
+    (fun (k, delta, seed) ->
+      let steps =
+        play_fresh ~delta ~k (Urn_game.adversary_random (Rng.create seed))
+          Urn_game.player_least_loaded
+      in
+      float_of_int steps <= Urn_game.bound ~delta ~k)
+
+let prop_theorem3_fresh_first_adversary =
+  QCheck.Test.make ~name:"Theorem 3 bound under the fresh-first adversary" ~count:100
+    QCheck.(pair (int_range 1 200) (int_range 1 200))
+    (fun (k, delta) ->
+      let steps = play_fresh ~delta ~k Urn_game.adversary_fresh_first Urn_game.player_least_loaded in
+      float_of_int steps <= Urn_game.bound ~delta ~k)
+
+(* The custom initial condition of Section 3.2 (one non-virgin urn with
+   k - u balls, u virgin singleton urns) also stays within the bound. *)
+let prop_theorem3_custom_initial =
+  QCheck.Test.make ~name:"Theorem 3 bound from Lemma 2's initial condition" ~count:100
+    QCheck.(pair (int_range 2 80) (int_range 1 80))
+    (fun (k, delta) ->
+      let u = max 1 (k / 2) in
+      let loads = Array.init (u + 1) (fun i -> if i = 0 then k - u else 1) in
+      let virgin = Array.init (u + 1) (fun i -> i > 0) in
+      let b = Urn_game.create_custom ~delta ~loads ~virgin in
+      let steps = Urn_game.play b Urn_game.adversary_greedy Urn_game.player_least_loaded in
+      float_of_int steps <= Urn_game.bound ~delta ~k)
+
+(* ---- exact value: the R(N, u) dynamic program ---- *)
+
+let test_dp_matches_greedy_play () =
+  (* The greedy adversary realizes the DP-optimal value (Lemma 4: option
+     (a) is always preferred; when forced, burn the fullest urn). *)
+  List.iter
+    (fun (k, delta) ->
+      let dp = Urn_game.dp_value ~delta ~k in
+      let played = play_fresh ~delta ~k Urn_game.adversary_greedy Urn_game.player_least_loaded in
+      checki (Printf.sprintf "k=%d delta=%d dp=play" k delta) dp played)
+    [ (1, 1); (2, 2); (3, 2); (4, 4); (8, 8); (16, 16); (64, 64); (16, 3); (32, 1000) ]
+
+let prop_dp_within_bound =
+  QCheck.Test.make ~name:"DP value within the Theorem 3 bound" ~count:200
+    QCheck.(pair (int_range 1 150) (int_range 1 150))
+    (fun (k, delta) ->
+      float_of_int (Urn_game.dp_value ~delta ~k) <= Urn_game.bound ~delta ~k)
+
+let prop_dp_dominates_any_adversary =
+  QCheck.Test.make ~name:"no adversary outlasts the DP value" ~count:100
+    QCheck.(triple (int_range 1 40) (int_range 1 40) (int_range 0 1000))
+    (fun (k, delta, seed) ->
+      let dp = Urn_game.dp_value ~delta ~k in
+      let played =
+        play_fresh ~delta ~k (Urn_game.adversary_random (Rng.create seed))
+          Urn_game.player_least_loaded
+      in
+      played <= dp)
+
+let test_dp_monotone_in_delta () =
+  let v d = Urn_game.dp_value ~delta:d ~k:32 in
+  checkb "monotone" true (v 1 <= v 2 && v 2 <= v 4 && v 4 <= v 16 && v 16 <= v 64);
+  checki "saturates at delta > k" (v 33) (v 1000)
+
+let prop_ball_conservation =
+  QCheck.Test.make ~name:"total balls conserved through any play" ~count:100
+    QCheck.(triple (int_range 1 60) (int_range 1 60) (int_range 0 500))
+    (fun (k, delta, seed) ->
+      let b = Urn_game.create ~delta ~k in
+      ignore
+        (Urn_game.play b (Urn_game.adversary_random (Rng.create seed))
+           Urn_game.player_least_loaded);
+      let total = ref 0 in
+      for i = 0 to k - 1 do
+        total := !total + Urn_game.load b i
+      done;
+      !total = k)
+
+let test_step_and_render () =
+  let b = Urn_game.create ~delta:4 ~k:4 in
+  (match Urn_game.step b Urn_game.adversary_greedy Urn_game.player_least_loaded with
+  | Some (a, dest) ->
+      checkb "moved a ball" true (a >= 0 && dest >= 0 && a < 4 && dest < 4);
+      checki "one step" 1 (Urn_game.steps b)
+  | None -> Alcotest.fail "expected a move");
+  let s = Urn_game.render b in
+  checkb "renders balls" true (String.contains s '*');
+  checkb "marks virgins" true (String.contains s 'v')
+
+(* ---- strategy comparisons ---- *)
+
+let test_most_loaded_player_is_worse () =
+  (* The anti-strategy loses to the greedy adversary on large boards —
+     the least-loaded choice is what the analysis relies on. *)
+  let k = 64 and delta = 64 in
+  let good = play_fresh ~delta ~k Urn_game.adversary_greedy Urn_game.player_least_loaded in
+  let bad =
+    try play_fresh ~delta ~k Urn_game.adversary_greedy Urn_game.player_most_loaded
+    with Failure _ -> max_int
+  in
+  checkb "least-loaded no worse" true (good <= bad)
+
+let test_random_player_within_limit () =
+  (* A random player may be bad but the game still ends (every step makes
+     progress against a finite adversary). *)
+  let steps =
+    try
+      Urn_game.play ~max_steps:100000
+        (Urn_game.create ~delta:8 ~k:8)
+        Urn_game.adversary_fresh_first
+        (Urn_game.player_random (Rng.create 7))
+    with Failure _ -> -1
+  in
+  checkb "terminates or hits cap" true (steps >= 0 || steps = -1)
+
+let test_resigning_adversary () =
+  let adversary _ = None in
+  let steps = play_fresh ~delta:4 ~k:4 adversary Urn_game.player_least_loaded in
+  checki "zero steps" 0 steps
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let qc t = QCheck_alcotest.to_alcotest t in
+  ( "urn-game",
+    [
+      tc "board initial" test_board_initial;
+      tc "delta=1 finished immediately" test_board_delta_one_finished_immediately;
+      tc "custom board" test_custom_board;
+      tc "custom board validation" test_custom_board_validation;
+      tc "theorem 3 greedy adversary" test_theorem3_greedy_adversary;
+      qc prop_theorem3_random_adversary;
+      qc prop_theorem3_fresh_first_adversary;
+      qc prop_theorem3_custom_initial;
+      tc "dp matches greedy play" test_dp_matches_greedy_play;
+      qc prop_dp_within_bound;
+      qc prop_dp_dominates_any_adversary;
+      qc prop_ball_conservation;
+      tc "step and render" test_step_and_render;
+      tc "dp monotone in delta" test_dp_monotone_in_delta;
+      tc "most-loaded player worse" test_most_loaded_player_is_worse;
+      tc "random player terminates" test_random_player_within_limit;
+      tc "resigning adversary" test_resigning_adversary;
+    ] )
