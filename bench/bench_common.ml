@@ -7,10 +7,17 @@ module Env = Bfdn_sim.Env
 module Runner = Bfdn_sim.Runner
 module Rng = Bfdn_util.Rng
 module Table = Bfdn_util.Table
+module Job = Bfdn_engine.Job
+module Batch = Bfdn_engine.Batch
+module Engine_report = Bfdn_engine.Report
 
 type scale = Quick | Normal | Full
 
 let scale = ref Normal
+
+(* Worker count for engine-backed experiments (--jobs=N). The results are
+   deterministic whatever this is set to; it only changes wall time. *)
+let workers = ref (Domain.recommended_domain_count ())
 
 (* Multiply a nominal instance size by the scale factor. *)
 let sized n =
@@ -56,3 +63,23 @@ let offline_lb env k =
 let describe env =
   Printf.sprintf "n=%d D=%d Δ=%d" (Env.oracle_n env) (Env.oracle_depth env)
     (Env.oracle_max_degree env)
+
+(* ---- engine-backed batches ---- *)
+
+let run_jobs jobs = Batch.run ~workers:!workers jobs
+
+let ok_outcome (job, res) =
+  match res with
+  | Ok (o : Job.outcome) -> o
+  | Error e -> failwith (Printf.sprintf "engine job %s failed: %s" (Job.describe job) e)
+
+let family_of_job (job : Job.t) =
+  match job.instance with
+  | Job.Generated { family; _ } -> family
+  | Job.Adversarial { policy; _ } -> "adv:" ^ policy
+
+(* Bound formulas from an outcome's frozen-instance statistics. *)
+let thm1_bound_of (o : Job.outcome) k =
+  Bfdn.Bounds.bfdn ~n:o.n ~k ~d:o.depth ~delta:o.max_degree
+
+let offline_lb_of (o : Job.outcome) k = Bfdn.Bounds.offline_lb ~n:o.n ~k ~d:(max 1 o.depth)

@@ -3,27 +3,30 @@
    constructions the paper builds on ([11] for CTE; lower bounds in [6]).
    The frozen tree is an ordinary instance — a deterministic algorithm
    replays it identically — so Theorem 1 must still hold for BFDN, and
-   does. *)
+   does. Each (adversary, algo, k) cell is an engine job: the engine
+   grows the world adaptively, freezes it, and replays the frozen
+   instance, all inside the worker pool. *)
 
 open Bench_common
-module Adversary = Bfdn_sim.Adversary
 module Table = Bfdn_util.Table
 
 let adversaries () =
   [
     ( "thick comb (11-style)",
-      fun () -> Adversary.make_rec ~capacity:(sized 4000) ~depth_budget:(sized 1200) Adversary.thick_comb );
+      Job.Adversarial
+        { policy = "thick-comb"; capacity = sized 4000; depth_budget = sized 1200 } );
     ( "corridor crowds",
-      fun () ->
-        Adversary.make ~capacity:(sized 4000) ~depth_budget:80
-          (Adversary.corridor_crowds ~threshold:2) );
+      Job.Adversarial
+        { policy = "corridor"; capacity = sized 4000; depth_budget = 80 } );
     ( "budget bomb",
-      fun () -> Adversary.make ~capacity:(sized 4000) ~depth_budget:6 Adversary.greedy_widest );
+      Job.Adversarial { policy = "bomb"; capacity = sized 4000; depth_budget = 6 } );
     ( "random grower",
-      fun () ->
-        Adversary.make ~capacity:(sized 4000) ~depth_budget:60
-          (Adversary.random_policy (Rng.create (seed + 11)) ~max_children:3) );
+      Job.Adversarial
+        { policy = "random"; capacity = sized 4000; depth_budget = 60 } );
   ]
+
+let algos = [ "bfdn"; "cte" ]
+let ks = [ 16; 256 ]
 
 let run () =
   header "E11 (adaptive adversaries)"
@@ -41,47 +44,36 @@ let run () =
         ("rounds/thm1", Table.Right); ("ok", Table.Left);
       ]
   in
-  let algos =
-    [
-      ("bfdn", fun env -> Bfdn.Bfdn_algo.algo (Bfdn.Bfdn_algo.make env));
-      ("cte", Bfdn_baselines.Cte.make);
-    ]
-  in
   List.iter
-    (fun (aname, make_adv) ->
+    (fun (aname, instance) ->
+      let jobs =
+        List.concat_map
+          (fun algo ->
+            List.map
+              (fun k -> Job.make ~algo ~k ~seed:(seed + 11) instance)
+              ks)
+          algos
+      in
       List.iter
-        (fun (algo_name, make_algo) ->
-          List.iter
-            (fun k ->
-              let adv = make_adv () in
-              let env = Env.of_world (Adversary.world adv) ~k in
-              let r = Runner.run (make_algo env) env in
-              let tree = Adversary.frozen adv in
-              let stats = Bfdn_trees.Tree_stats.compute tree in
-              let env2 = Env.create tree ~k in
-              let r2 = Runner.run (make_algo env2) env2 in
-              let lb =
-                Bfdn.Bounds.offline_lb ~n:stats.n ~k ~d:(max 1 stats.depth)
-              in
-              let thm1 =
-                Bfdn.Bounds.bfdn ~n:stats.n ~k ~d:stats.depth
-                  ~delta:stats.max_degree
-              in
-              let within_thm1 = float_of_int r.rounds <= thm1 in
-              Table.add_row t
-                [
-                  aname; algo_name; Table.fint k; Table.fint r.rounds;
-                  Table.fint r2.rounds; Table.fint stats.n; Table.fint stats.depth;
-                  Table.fratio (float_of_int r.rounds /. lb);
-                  (if algo_name = "bfdn" then
-                     Table.fratio (float_of_int r.rounds /. thm1)
-                   else "-");
-                  Table.fbool
-                    (r.explored && r2.rounds = r.rounds
-                    && (algo_name <> "bfdn" || within_thm1));
-                ])
-            [ 16; 256 ])
-        algos;
+        (fun ((job : Job.t), _ as cell) ->
+          let o = ok_outcome cell in
+          let replay = Option.get o.replay_rounds in
+          let lb = offline_lb_of o job.k in
+          let thm1 = thm1_bound_of o job.k in
+          let within_thm1 = float_of_int o.result.rounds <= thm1 in
+          Table.add_row t
+            [
+              aname; job.algo; Table.fint job.k; Table.fint o.result.rounds;
+              Table.fint replay; Table.fint o.n; Table.fint o.depth;
+              Table.fratio (float_of_int o.result.rounds /. lb);
+              (if job.algo = "bfdn" then
+                 Table.fratio (float_of_int o.result.rounds /. thm1)
+               else "-");
+              Table.fbool
+                (o.result.explored && replay = o.result.rounds
+                && (job.algo <> "bfdn" || within_thm1));
+            ])
+        (run_jobs jobs);
       Table.add_rule t)
     (adversaries ());
   Table.print t;

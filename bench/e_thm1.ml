@@ -1,8 +1,22 @@
 (* E2 — Theorem 1: BFDN completes in at most
-   2n/k + D^2 (min(log k, log Δ) + 3) rounds, on every instance family. *)
+   2n/k + D^2 (min(log k, log Δ) + 3) rounds, on every instance family.
+   The (family, k) sweep runs as one engine batch: each cell is a pure
+   Job spec, executed across the worker pool and collected in order. *)
 
 open Bench_common
 module Table = Bfdn_util.Table
+
+let ks = [ 1; 8; 64; 512 ]
+
+let jobs () =
+  List.concat_map
+    (fun fam ->
+      List.map
+        (fun k ->
+          Job.make ~algo:"bfdn" ~k ~seed
+            (Job.Generated { family = fam; n = sized 5000; depth_hint = 40 }))
+        ks)
+    Bfdn_trees.Tree_gen.families
 
 let run () =
   header "E2 (Theorem 1)"
@@ -21,32 +35,24 @@ let run () =
   in
   let worst = ref 0.0 in
   List.iter
-    (fun fam ->
-      let tree =
-        Bfdn_trees.Tree_gen.of_family fam
-          ~rng:(Rng.create seed)
-          ~n:(sized 5000) ~depth_hint:40
-      in
-      List.iter
-        (fun k ->
-          let env, _, r = run_bfdn tree k in
-          let bound = thm1_bound env k in
-          let ratio = float_of_int r.rounds /. bound in
-          worst := Float.max !worst ratio;
-          Table.add_row t
-            [
-              fam;
-              Table.fint (Env.oracle_n env);
-              Table.fint (Env.oracle_depth env);
-              Table.fint (Env.oracle_max_degree env);
-              Table.fint k;
-              Table.fint r.rounds;
-              Table.ffloat ~decimals:0 bound;
-              Table.fratio ratio;
-              Table.fratio (float_of_int r.rounds /. offline_lb env k);
-              Table.fbool (r.explored && r.at_root && ratio <= 1.0);
-            ])
-        [ 1; 8; 64; 512 ])
-    Bfdn_trees.Tree_gen.families;
+    (fun ((job : Job.t), _ as cell) ->
+      let o = ok_outcome cell in
+      let bound = thm1_bound_of o job.k in
+      let ratio = float_of_int o.result.rounds /. bound in
+      worst := Float.max !worst ratio;
+      Table.add_row t
+        [
+          family_of_job job;
+          Table.fint o.n;
+          Table.fint o.depth;
+          Table.fint o.max_degree;
+          Table.fint job.k;
+          Table.fint o.result.rounds;
+          Table.ffloat ~decimals:0 bound;
+          Table.fratio ratio;
+          Table.fratio (float_of_int o.result.rounds /. offline_lb_of o job.k);
+          Table.fbool (o.result.explored && o.result.at_root && ratio <= 1.0);
+        ])
+    (run_jobs (jobs ()));
   Table.print t;
   Printf.printf "worst rounds/bound ratio: %.3f (paper predicts <= 1)\n" !worst

@@ -1,13 +1,42 @@
 (* E3 — Theorem 3: the balls-in-urns game ends within
    k min(log Δ, log k) + 2k steps under the least-loaded strategy;
-   the greedy adversary realizes the exact optimum (R(N, u) DP). *)
+   the greedy adversary realizes the exact optimum (R(N, u) DP).
+   Each (k, Δ) configuration — four adversaries plus the DP — is one
+   task in a Batch.map: pure, so the parallel sweep is reproducible. *)
 
 open Bench_common
 module Urn_game = Bfdn.Urn_game
 module Table = Bfdn_util.Table
 
+type cell = {
+  k : int;
+  delta : int;
+  greedy : int;
+  dp : int;
+  fresh : int;
+  rnd : int;
+  bound : float;
+}
+
+let configs =
+  [|
+    (4, 4); (16, 16); (64, 64); (256, 256); (1024, 1024); (4096, 4096);
+    (1024, 16); (1024, 4); (64, 100000);
+  |]
+
 let play ~delta ~k adversary =
   Urn_game.play (Urn_game.create ~delta ~k) adversary Urn_game.player_least_loaded
+
+let eval (k, delta) =
+  {
+    k;
+    delta;
+    greedy = play ~delta ~k Urn_game.adversary_greedy;
+    dp = Urn_game.dp_value ~delta ~k;
+    fresh = play ~delta ~k Urn_game.adversary_fresh_first;
+    rnd = play ~delta ~k (Urn_game.adversary_random (Rng.create seed));
+    bound = Urn_game.bound ~delta ~k;
+  }
 
 let run () =
   header "E3 (Theorem 3)" "urn-game length vs k·min(log Δ, log k) + 2k";
@@ -23,27 +52,20 @@ let run () =
         ("greedy/bound", Table.Right); ("ok", Table.Left);
       ]
   in
-  List.iter
-    (fun (k, delta) ->
-      let greedy = play ~delta ~k Urn_game.adversary_greedy in
-      let dp = Urn_game.dp_value ~delta ~k in
-      let fresh = play ~delta ~k Urn_game.adversary_fresh_first in
-      let rnd = play ~delta ~k (Urn_game.adversary_random (Rng.create seed)) in
-      let bound = Urn_game.bound ~delta ~k in
+  Array.iter
+    (fun res ->
+      let c = match res with Ok c -> c | Error e -> failwith ("E3 task failed: " ^ e) in
       Table.add_row t
         [
-          Table.fint k; Table.fint delta; Table.fint greedy; Table.fint dp;
-          Table.fint fresh; Table.fint rnd;
-          Table.ffloat ~decimals:0 bound;
-          Table.fratio (float_of_int greedy /. bound);
+          Table.fint c.k; Table.fint c.delta; Table.fint c.greedy;
+          Table.fint c.dp; Table.fint c.fresh; Table.fint c.rnd;
+          Table.ffloat ~decimals:0 c.bound;
+          Table.fratio (float_of_int c.greedy /. c.bound);
           Table.fbool
-            (greedy = dp
-            && float_of_int greedy <= bound
-            && float_of_int fresh <= bound
-            && float_of_int rnd <= bound);
+            (c.greedy = c.dp
+            && float_of_int c.greedy <= c.bound
+            && float_of_int c.fresh <= c.bound
+            && float_of_int c.rnd <= c.bound);
         ])
-    [
-      (4, 4); (16, 16); (64, 64); (256, 256); (1024, 1024); (4096, 4096);
-      (1024, 16); (1024, 4); (64, 100000);
-    ];
+    (Batch.map ~workers:!workers eval configs);
   Table.print t

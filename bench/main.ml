@@ -1,9 +1,10 @@
 (* Experiment harness: regenerates every figure and quantitative claim of
-   the paper (E1–E10), the design-choice ablations (A1) and the Bechamel
-   micro-benchmarks (B1–B6). See EXPERIMENTS.md for the index.
+   the paper (E1–E10), the design-choice ablations (A1), the batch-engine
+   reference sweep (E15) and the Bechamel micro-benchmarks (B1–B6). See
+   EXPERIMENTS.md for the index.
 
    Usage: dune exec bench/main.exe -- [--quick|--full] [--no-micro]
-          [--only E1,E3,...] *)
+          [--only E1,E3,...] [--jobs=N] [--smoke] *)
 
 let experiments =
   [
@@ -20,12 +21,14 @@ let experiments =
     ("E11", E_adversary.run);
     ("E12", E_overhead.run);
     ("E13+E14", E_extensions.run);
+    ("E15", E_engine.run);
     ("A1", E_ablation.run);
   ]
 
 let () =
   let only = ref None in
   let micro = ref true in
+  let smoke = ref false in
   let args = List.tl (Array.to_list Sys.argv) in
   List.iter
     (fun arg ->
@@ -33,20 +36,38 @@ let () =
       | "--quick" -> Bench_common.scale := Bench_common.Quick
       | "--full" -> Bench_common.scale := Bench_common.Full
       | "--no-micro" -> micro := false
+      | "--smoke" -> smoke := true
       | _ when String.length arg > 7 && String.sub arg 0 7 = "--only=" ->
           only :=
             Some
               (String.split_on_char ','
                  (String.sub arg 7 (String.length arg - 7)))
+      | _ when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+          let n =
+            match int_of_string_opt (String.sub arg 7 (String.length arg - 7)) with
+            | Some n when n >= 1 -> n
+            | _ ->
+                Printf.eprintf "--jobs expects a positive integer\n";
+                exit 2
+          in
+          Bench_common.workers := n
       | _ ->
           Printf.eprintf
             "unknown argument %s\n\
-             usage: main.exe [--quick|--full] [--no-micro] [--only=E1,E2,...]\n"
+             usage: main.exe [--quick|--full] [--no-micro] [--only=E1,E2,...]\n\
+            \       [--jobs=N] [--smoke]\n"
             arg;
           exit 2)
     args;
-  let wanted id = match !only with None -> true | Some ids -> List.mem id ids in
-  print_endline
-    "BFDN reproduction harness — Cosson, Massoulié, Viennot (PODC'23 / full version)";
-  List.iter (fun (id, run) -> if wanted id then run ()) experiments;
-  if !micro && wanted "B" then Micro.run ()
+  if !smoke then begin
+    (* CI tripwire: tiny engine batches over every experiment family. *)
+    Bench_common.scale := Bench_common.Quick;
+    E_smoke.run ()
+  end
+  else begin
+    let wanted id = match !only with None -> true | Some ids -> List.mem id ids in
+    print_endline
+      "BFDN reproduction harness — Cosson, Massoulié, Viennot (PODC'23 / full version)";
+    List.iter (fun (id, run) -> if wanted id then run ()) experiments;
+    if !micro && wanted "B" then Micro.run ()
+  end

@@ -2,6 +2,7 @@
    library. Subcommands:
 
    run      explore a generated tree with a chosen algorithm
+   sweep    run a whole instance batch on the parallel engine
    game     play the Section 3 balls-in-urns game
    regions  print the Figure 1 region map
    grid     sweep a warehouse grid with graph-BFDN *)
@@ -11,6 +12,9 @@ module Tree_gen = Bfdn_trees.Tree_gen
 module Env = Bfdn_sim.Env
 module Runner = Bfdn_sim.Runner
 module Rng = Bfdn_util.Rng
+module Job = Bfdn_engine.Job
+module Batch = Bfdn_engine.Batch
+module Report = Bfdn_engine.Report
 
 (* ---- shared arguments ---- *)
 
@@ -114,6 +118,173 @@ let run_cmd =
       $ trace $ tree_file $ dump_tree)
   in
   Cmd.v (Cmd.info "run" ~doc:"Explore a generated tree with a chosen algorithm.") term
+
+(* ---- sweep ---- *)
+
+let sweep_cmd =
+  let module Table = Bfdn_util.Table in
+  let comma_list ~docv ~doc ~default =
+    Arg.(value & opt string default & info [ String.lowercase_ascii docv ] ~docv ~doc)
+  in
+  let families_arg =
+    comma_list ~docv:"FAMILIES" ~default:"random,comb,trap"
+      ~doc:
+        (Printf.sprintf "Comma-separated tree families (of: %s)."
+           (String.concat ", " Tree_gen.families))
+  in
+  let algos_arg =
+    comma_list ~docv:"ALGOS" ~default:"bfdn,cte"
+      ~doc:
+        (Printf.sprintf "Comma-separated algorithms (of: %s)."
+           (String.concat ", " Job.algos))
+  in
+  let ks_arg =
+    comma_list ~docv:"KS" ~default:"1,8,64" ~doc:"Comma-separated robot counts."
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int (Domain.recommended_domain_count ())
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the batch. Results are identical for any \
+             value (deterministic sharded replay); only wall time changes.")
+  in
+  let n = Arg.(value & opt int 5000 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Target node count.") in
+  let depth =
+    Arg.(value & opt int 20 & info [ "depth" ] ~docv:"D" ~doc:"Depth hint for the generator.")
+  in
+  let repeats =
+    Arg.(value & opt int 3 & info [ "repeats" ] ~docv:"R" ~doc:"Seeds per (family, algo, k) cell.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) (Some "BENCH_engine.json")
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the machine-readable report here (pass an empty string to skip).")
+  in
+  let action families algos ks jobs n depth repeats seed out =
+    let split_csv s = String.split_on_char ',' s |> List.map String.trim in
+    let ks =
+      List.map
+        (fun s ->
+          match int_of_string_opt s with
+          | Some k when k >= 1 -> k
+          | _ -> failwith ("bad robot count: " ^ s))
+        (split_csv ks)
+    in
+    let specs =
+      List.concat_map
+        (fun family ->
+          List.concat_map
+            (fun algo ->
+              List.concat_map
+                (fun k ->
+                  List.init repeats (fun r ->
+                      Job.make ~algo ~k ~seed:(seed + r)
+                        (Job.Generated { family; n; depth_hint = depth })))
+                ks)
+            (split_csv algos))
+        (split_csv families)
+    in
+    let total = List.length specs in
+    Printf.eprintf "sweep: %d jobs on %d worker(s) (%d core(s))\n%!" total jobs
+      (Domain.recommended_domain_count ());
+    let t0 = Batch.now () in
+    let results =
+      Batch.run ~workers:jobs
+        ~progress:(fun ~completed ~total ->
+          if completed mod 10 = 0 || completed = total then
+            Printf.eprintf "\r  %d/%d%!" completed total)
+        specs
+    in
+    Printf.eprintf "\n%!";
+    let wall = Batch.now () -. t0 in
+    let t =
+      Table.create
+        ~caption:"one row per (family, algo, k): rounds over the repeat seeds"
+        [
+          ("family", Table.Left); ("algo", Table.Left); ("k", Table.Right);
+          ("runs", Table.Right); ("n", Table.Right); ("D", Table.Right);
+          ("rounds p50", Table.Right); ("rounds max", Table.Right);
+          ("explored", Table.Left);
+        ]
+    in
+    (* Collapse the repeat seeds of each cell into one row; results are in
+       input order, so consecutive chunks of [repeats] share a cell. *)
+    let rec chunks = function
+      | [] -> []
+      | l ->
+          let rec take i acc = function
+            | x :: tl when i < repeats -> take (i + 1) (x :: acc) tl
+            | rest -> (List.rev acc, rest)
+          in
+          let c, rest = take 0 [] l in
+          c :: chunks rest
+    in
+    List.iter
+      (fun cell ->
+        match cell with
+        | [] -> ()
+        | ((job : Job.t), _) :: _ ->
+            let outcomes =
+              List.filter_map (fun (_, r) -> Result.to_option r) cell
+            in
+            let errors = List.length cell - List.length outcomes in
+            if errors > 0 then
+              Printf.eprintf "warning: %d failed job(s) in cell %s\n" errors
+                (Job.describe job);
+            let rounds =
+              Array.of_list
+                (List.map
+                   (fun (o : Job.outcome) -> float_of_int o.result.rounds)
+                   outcomes)
+            in
+            if Array.length rounds > 0 then begin
+              let s = Bfdn_util.Stats.summarize rounds in
+              let o = List.hd outcomes in
+              Table.add_row t
+                [
+                  (match job.instance with
+                  | Job.Generated { family; _ } -> family
+                  | Job.Adversarial { policy; _ } -> "adv:" ^ policy);
+                  job.algo; Table.fint job.k;
+                  Table.fint (Array.length rounds); Table.fint o.n;
+                  Table.fint o.depth; Table.ffloat ~decimals:0 s.p50;
+                  Table.ffloat ~decimals:0 s.max;
+                  Table.fbool
+                    (List.for_all (fun (o : Job.outcome) -> o.result.explored)
+                       outcomes);
+                ]
+            end)
+      (chunks results);
+    Table.print t;
+    let agg = Batch.aggregate results in
+    Printf.printf "%d jobs (%d errors) in %.2fs — %.1f jobs/s on %d worker(s)\n"
+      agg.jobs agg.errors wall
+      (float_of_int agg.jobs /. Float.max 1e-9 wall)
+      jobs;
+    (match out with
+    | Some path when path <> "" ->
+        Report.write ~path
+          (Report.of_sweep ~label:"bfdn-explore sweep" ~workers:jobs ~wall
+             results);
+        Printf.printf "report written to %s\n" path
+    | _ -> ());
+    if agg.errors > 0 then exit 1
+  in
+  let term =
+    Term.(
+      const action $ families_arg $ algos_arg $ ks_arg $ jobs_arg $ n $ depth
+      $ repeats $ seed_arg $ out)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run a (family x algo x k x seed) batch on the parallel engine and \
+          report round distributions.")
+    term
 
 (* ---- game ---- *)
 
@@ -283,4 +454,7 @@ let grid_cmd =
 let () =
   let doc = "Collaborative tree exploration with Breadth-First Depth-Next (BFDN)." in
   let info = Cmd.info "bfdn-explore" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; game_cmd; regions_cmd; grid_cmd; adversary_cmd; bounds_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; sweep_cmd; game_cmd; regions_cmd; grid_cmd; adversary_cmd; bounds_cmd ]))

@@ -1,0 +1,92 @@
+module Stats = Bfdn_util.Stats
+
+let now () = Unix.gettimeofday ()
+
+let map ?workers ?(progress = fun ~completed:_ ~total:_ -> ())
+    ?(on_pool_stats = fun _ -> ()) f xs =
+  let total = Array.length xs in
+  let results = Array.make total (Error "not executed") in
+  let run_one i =
+    results.(i) <- (try Ok (f xs.(i)) with e -> Error (Printexc.to_string e))
+  in
+  let w =
+    match workers with
+    | Some w -> max 1 w
+    | None -> Domain.recommended_domain_count ()
+  in
+  if w <= 1 || total <= 1 then
+    Array.iteri
+      (fun i _ ->
+        run_one i;
+        progress ~completed:(i + 1) ~total)
+      xs
+  else begin
+    let pool = Pool.create ~workers:w () in
+    let completed = Atomic.make 0 in
+    let progress_mutex = Mutex.create () in
+    Array.iteri
+      (fun i _ ->
+        Pool.submit pool (fun () ->
+            run_one i;
+            let c = Atomic.fetch_and_add completed 1 + 1 in
+            Mutex.lock progress_mutex;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock progress_mutex)
+              (fun () -> progress ~completed:c ~total)))
+      xs;
+    Pool.join pool;
+    on_pool_stats (Pool.executed pool);
+    Pool.shutdown pool
+  end;
+  results
+
+let run ?workers ?progress ?on_pool_stats jobs =
+  let arr = Array.of_list jobs in
+  let res = map ?workers ?progress ?on_pool_stats Job.run arr in
+  List.mapi (fun i j -> (j, res.(i))) jobs
+
+type agg = {
+  jobs : int;
+  errors : int;
+  explored : int;
+  total_rounds : int;
+  per_algo : (string * Stats.summary) list;
+}
+
+let aggregate results =
+  let errors = ref 0 and explored = ref 0 and total_rounds = ref 0 in
+  let order = ref [] (* algo names, first-seen order *) in
+  let rounds : (string, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun ((job : Job.t), res) ->
+      match res with
+      | Error _ -> incr errors
+      | Ok (o : Job.outcome) ->
+          if o.result.explored then incr explored;
+          total_rounds := !total_rounds + o.result.rounds;
+          let cell =
+            match Hashtbl.find_opt rounds job.algo with
+            | Some r -> r
+            | None ->
+                let r = ref [] in
+                Hashtbl.add rounds job.algo r;
+                order := job.algo :: !order;
+                r
+          in
+          cell := o.result.rounds :: !cell)
+    results;
+  let per_algo =
+    List.rev_map
+      (fun algo ->
+        let xs = !(Hashtbl.find rounds algo) in
+        let arr = Array.of_list (List.rev_map float_of_int xs) in
+        (algo, Stats.summarize arr))
+      !order
+  in
+  {
+    jobs = List.length results;
+    errors = !errors;
+    explored = !explored;
+    total_rounds = !total_rounds;
+    per_algo;
+  }

@@ -1,0 +1,59 @@
+(** Pure simulation-job specifications.
+
+    A job names everything needed to rebuild and run one instance —
+    generator (or adversary policy) + parameters, algorithm, robot count
+    and a seed — so that [run job] is a pure function: two executions of
+    the same spec, on any machine, in any worker, produce identical
+    outcomes. This is what makes batches shardable (see {!Batch}) and
+    results usable as evidence. *)
+
+type instance =
+  | Generated of { family : string; n : int; depth_hint : int }
+      (** A {!Bfdn_trees.Tree_gen.of_family} instance. *)
+  | Adversarial of { policy : string; capacity : int; depth_budget : int }
+      (** A lazily materialized world grown online by a
+          {!Bfdn_sim.Adversary} policy; the frozen tree is replayed after
+          the adaptive run. *)
+
+type t = {
+  instance : instance;
+  algo : string;  (** one of {!algos} *)
+  k : int;  (** robot count *)
+  seed : int;
+      (** per-job seed; {!run} splits it into independent instance and
+          algorithm streams with [Rng.split] *)
+}
+
+type outcome = {
+  result : Bfdn_sim.Runner.result;
+  replay_rounds : int option;
+      (** adversarial jobs only: rounds of a re-run on the frozen tree
+          (equal to [result.rounds] for deterministic algorithms) *)
+  n : int;  (** node count of the (frozen) instance *)
+  depth : int;
+  max_degree : int;
+}
+
+val algos : string list
+(** Algorithm names accepted by {!run}: bfdn, bfdn-wr, bfdn-rec, cte,
+    dfs, offline, random-walk. *)
+
+val policies : string list
+(** Adversary policy names accepted by {!run}: thick-comb, corridor,
+    bomb, miser, random. *)
+
+val make :
+  ?algo:string -> ?k:int -> ?seed:int -> instance -> t
+(** Spec constructor with defaults [algo="bfdn"], [k=8], [seed=0]. *)
+
+val describe : t -> string
+(** One-line human-readable rendering, used in labels and error text. *)
+
+val equal_outcome : outcome -> outcome -> bool
+(** Structural equality; the whole record is immutable scalar data, so
+    this is exactly "bit-for-bit identical run". *)
+
+val run : t -> outcome
+(** Execute the job: derive the instance and algorithm RNG streams from
+    [seed], build the environment, drive {!Bfdn_sim.Runner.run}.
+    @raise Invalid_argument on an unknown algorithm/policy/family name. *)

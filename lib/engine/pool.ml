@@ -1,0 +1,94 @@
+type t = {
+  n_workers : int;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  idle : Condition.t;
+  mutable pending : int;  (* submitted, not yet finished *)
+  mutable stopped : bool;
+  counts : int array;
+  mutable domains : unit Domain.t list;
+}
+
+let worker t i () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.stopped do
+      Condition.wait t.nonempty t.mutex
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.mutex (* stopped: exit *)
+    else begin
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      (* Contain failures here so a raising task cannot kill the worker;
+         result-level error reporting is layered on top (see Batch). *)
+      (try task () with _ -> ());
+      Mutex.lock t.mutex;
+      t.counts.(i) <- t.counts.(i) + 1;
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.idle;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?workers () =
+  let n_workers =
+    match workers with
+    | Some w -> max 1 w
+    | None -> Domain.recommended_domain_count ()
+  in
+  let t =
+    {
+      n_workers;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      idle = Condition.create ();
+      pending = 0;
+      stopped = false;
+      counts = Array.make n_workers 0;
+      domains = [];
+    }
+  in
+  t.domains <- List.init n_workers (fun i -> Domain.spawn (worker t i));
+  t
+
+let workers t = t.n_workers
+
+let submit t f =
+  Mutex.lock t.mutex;
+  if t.stopped then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  t.pending <- t.pending + 1;
+  Queue.push f t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex
+
+let join t =
+  Mutex.lock t.mutex;
+  while t.pending > 0 do
+    Condition.wait t.idle t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+let shutdown t =
+  join t;
+  Mutex.lock t.mutex;
+  let was_stopped = t.stopped in
+  t.stopped <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  if not was_stopped then begin
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let executed t =
+  Mutex.lock t.mutex;
+  let c = Array.copy t.counts in
+  Mutex.unlock t.mutex;
+  c

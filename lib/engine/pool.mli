@@ -1,0 +1,36 @@
+(** Domain-based worker pool.
+
+    A fixed set of worker domains drains a FIFO task queue. Tasks are
+    [unit -> unit] thunks; a raising task is contained (the exception is
+    swallowed at the worker loop) so one bad task can never take a worker
+    — let alone the pool — down. Error reporting is the submitter's job:
+    {!Batch} wraps every job so failures surface as per-job [Error]
+    values.
+
+    The pool is safe to drive from the spawning domain only ([submit],
+    [join] and [shutdown] are not re-entrant from worker tasks). *)
+
+type t
+
+val create : ?workers:int -> unit -> t
+(** Spawn the worker domains. [workers] defaults to
+    [Domain.recommended_domain_count ()] and is clamped to at least 1.
+    Worker counts above the core count are legal (useful for determinism
+    tests); they just time-share. *)
+
+val workers : t -> int
+(** Number of worker domains actually spawned. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a task. @raise Invalid_argument after {!shutdown}. *)
+
+val join : t -> unit
+(** Block until every submitted task has finished (the queue is empty and
+    no worker is mid-task). The pool stays usable for further [submit]s. *)
+
+val shutdown : t -> unit
+(** {!join}, then stop and join every worker domain. Idempotent. *)
+
+val executed : t -> int array
+(** Per-worker count of tasks completed so far (index = worker id). Call
+    after {!join} for a consistent snapshot. *)

@@ -1,0 +1,38 @@
+(** Minimal JSON emitter for machine-readable sweep reports.
+
+    The repository has no JSON dependency, so this is a tiny writer (no
+    parser): enough to emit [BENCH_engine.json] — wall-time, throughput,
+    per-algorithm round distributions — for dashboards and CI trend
+    tracking. Non-finite floats are emitted as [null] to keep the output
+    standard JSON. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val to_string : json -> string
+(** Compact single-line rendering. *)
+
+val write : path:string -> json -> unit
+(** [to_string] plus a trailing newline, written atomically-enough (single
+    [output_string]) to [path]. *)
+
+val of_summary : Bfdn_util.Stats.summary -> json
+(** Round-distribution summary as an object
+    [{count, mean, stddev, min, max, p50, p95}]. *)
+
+val of_sweep :
+  label:string ->
+  workers:int ->
+  wall:float ->
+  ?sequential_wall:float ->
+  (Job.t * (Job.outcome, string) result) list ->
+  json
+(** Standard report body for one batch: label, worker/core counts,
+    wall-time, jobs/sec, error count, per-algo distributions, and — when
+    [sequential_wall] is given — the parallel-over-sequential speedup. *)

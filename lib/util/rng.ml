@@ -16,7 +16,16 @@ let bits64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state
 
-let split t = { state = bits64 t }
+let split t i =
+  if i < 0 then invalid_arg "Rng.split: negative index";
+  (* Child [i] is keyed on the parent's *current* state and the index, and
+     the parent is not advanced: the derivation is a pure function, so the
+     family of child streams is independent of the order (or concurrency)
+     in which they are requested. The double mix decorrelates neighbouring
+     indices beyond the single SplitMix64 finalizer. *)
+  let z = Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (i + 1))) in
+  { state = mix64 (mix64 z) }
+
 let copy t = { state = t.state }
 
 let int t bound =

@@ -10,8 +10,13 @@ val create : int -> t
 (** [create seed] returns a fresh generator. Equal seeds yield equal
     streams. *)
 
-val split : t -> t
-(** [split t] derives an independent generator and advances [t]. *)
+val split : t -> int -> t
+(** [split t i] derives the [i]-th child generator ([i >= 0]) of [t]'s
+    current state {e without advancing} [t]: the derivation is a pure
+    function of [(state, i)], so equal parents yield equal children
+    regardless of the order in which children are requested. Distinct
+    indices yield independent streams; the engine uses this to shard one
+    root seed across a whole batch of jobs deterministically. *)
 
 val copy : t -> t
 (** [copy t] duplicates the current state without advancing [t]. *)

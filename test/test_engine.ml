@@ -1,0 +1,285 @@
+(* Tests for Bfdn_engine: the pool drains under any worker count, batches
+   are deterministic across worker counts (the sharded-replay contract),
+   and failures are contained per job. *)
+
+module Job = Bfdn_engine.Job
+module Pool = Bfdn_engine.Pool
+module Batch = Bfdn_engine.Batch
+module Report = Bfdn_engine.Report
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ---- Pool ---- *)
+
+let test_pool_drains () =
+  List.iter
+    (fun workers ->
+      let pool = Pool.create ~workers () in
+      checki "worker count" (max 1 workers) (Pool.workers pool);
+      let hits = Atomic.make 0 in
+      for _ = 1 to 50 do
+        Pool.submit pool (fun () -> Atomic.incr hits)
+      done;
+      Pool.join pool;
+      checki
+        (Printf.sprintf "all tasks ran (workers=%d)" workers)
+        50 (Atomic.get hits);
+      (* The pool stays usable after a join. *)
+      Pool.submit pool (fun () -> Atomic.incr hits);
+      Pool.join pool;
+      checki "usable after join" 51 (Atomic.get hits);
+      let per_worker = Pool.executed pool in
+      checki "per-worker stats account for every task" 51
+        (Array.fold_left ( + ) 0 per_worker);
+      Pool.shutdown pool)
+    [ 1; 2; Domain.recommended_domain_count () ]
+
+let test_pool_survives_raising_task () =
+  let pool = Pool.create ~workers:2 () in
+  let hits = Atomic.make 0 in
+  for i = 1 to 30 do
+    Pool.submit pool (fun () ->
+        if i mod 3 = 0 then failwith "boom";
+        Atomic.incr hits)
+  done;
+  Pool.join pool;
+  checki "non-raising tasks all ran" 20 (Atomic.get hits);
+  (* Workers survived: the pool still executes new tasks. *)
+  Pool.submit pool (fun () -> Atomic.incr hits);
+  Pool.shutdown pool;
+  checki "pool alive after exceptions" 21 (Atomic.get hits)
+
+let test_pool_shutdown_idempotent () =
+  let pool = Pool.create ~workers:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  checkb "submit after shutdown rejected" true
+    (try
+       Pool.submit pool (fun () -> ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Batch determinism (the sequential-vs-parallel oracle) ---- *)
+
+(* >= 200 jobs across every algorithm and instance family the registry
+   knows, tiny instances so the whole oracle runs in well under a second
+   of simulated work per worker count. *)
+let oracle_jobs () =
+  let jobs = ref [] in
+  let add j = jobs := j :: !jobs in
+  let seed = ref 1000 in
+  let next_seed () =
+    incr seed;
+    !seed
+  in
+  List.iter
+    (fun family ->
+      List.iter
+        (fun algo ->
+          List.iter
+            (fun k ->
+              for _ = 1 to 2 do
+                add
+                  (Job.make ~algo ~k ~seed:(next_seed ())
+                     (Job.Generated { family; n = 60; depth_hint = 8 }))
+              done)
+            [ 1; 3; 8 ])
+        [ "bfdn"; "cte"; "dfs"; "offline"; "random-walk"; "bfdn-wr"; "bfdn-rec" ])
+    [ "random"; "comb"; "star"; "spider"; "hidden-path" ];
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun algo ->
+          List.iter
+            (fun k ->
+              add
+                (Job.make ~algo ~k ~seed:(next_seed ())
+                   (Job.Adversarial
+                      { policy; capacity = 80; depth_budget = 12 })))
+            [ 2; 6 ])
+        [ "bfdn"; "cte" ])
+    Job.policies;
+  List.rev !jobs
+
+let result_testable =
+  Alcotest.testable
+    (fun ppf -> function
+      | Ok (o : Job.outcome) ->
+          Format.fprintf ppf "Ok(rounds=%d n=%d)" o.result.rounds o.n
+      | Error e -> Format.fprintf ppf "Error(%s)" e)
+    (fun a b ->
+      match (a, b) with
+      | Ok x, Ok y -> Job.equal_outcome x y
+      | Error x, Error y -> x = y
+      | _ -> false)
+
+let test_batch_parallel_equals_sequential () =
+  let jobs = oracle_jobs () in
+  checkb "oracle batch is >= 200 jobs" true (List.length jobs >= 200);
+  let sequential = Batch.run ~workers:1 jobs in
+  List.iter
+    (fun workers ->
+      let parallel = Batch.run ~workers jobs in
+      List.iter2
+        (fun (job, expect) (_, got) ->
+          check result_testable
+            (Printf.sprintf "workers=%d %s" workers (Job.describe job))
+            expect got)
+        sequential parallel)
+    [ 2; max 2 (Domain.recommended_domain_count ()) ]
+
+let test_batch_progress_and_order () =
+  let jobs =
+    List.init 40 (fun i ->
+        Job.make ~algo:"bfdn" ~k:3 ~seed:i
+          (Job.Generated { family = "random"; n = 30; depth_hint = 5 }))
+  in
+  let last = ref 0 in
+  let monotone = ref true in
+  let results =
+    Batch.run ~workers:3
+      ~progress:(fun ~completed ~total ->
+        if completed <= !last || total <> 40 then monotone := false;
+        last := completed)
+      jobs
+  in
+  checkb "progress is monotone" true !monotone;
+  checki "progress reached the total" 40 !last;
+  (* Ordered collection: result i corresponds to job i. *)
+  List.iteri
+    (fun i (job, _) ->
+      checki (Printf.sprintf "slot %d holds job %d" i i) i job.Job.seed)
+    results
+
+let test_batch_error_isolated () =
+  let good i =
+    Job.make ~algo:"bfdn" ~k:2 ~seed:i
+      (Job.Generated { family = "star"; n = 20; depth_hint = 2 })
+  in
+  let bad =
+    Job.make ~algo:"no-such-algo" ~k:2 ~seed:99
+      (Job.Generated { family = "star"; n = 20; depth_hint = 2 })
+  in
+  let jobs = [ good 0; bad; good 1; bad; good 2 ] in
+  let results = Batch.run ~workers:2 jobs in
+  let oks, errs =
+    List.partition (fun (_, r) -> Result.is_ok r) results
+  in
+  checki "good jobs all completed" 3 (List.length oks);
+  checki "bad jobs reported per job" 2 (List.length errs);
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun (_, r) ->
+      match r with
+      | Error msg ->
+          checkb "error names the unknown algorithm" true
+            (contains msg "no-such-algo")
+      | Ok _ -> ())
+    errs
+
+let test_batch_map_generic () =
+  let xs = Array.init 100 (fun i -> i) in
+  let res = Batch.map ~workers:3 (fun x -> x * x) xs in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> checki "square in order" (i * i) v
+      | Error e -> Alcotest.failf "unexpected error %s" e)
+    res
+
+let test_aggregate () =
+  let jobs =
+    List.concat_map
+      (fun algo ->
+        List.init 3 (fun i ->
+            Job.make ~algo ~k:2 ~seed:(i + 7)
+              (Job.Generated { family = "comb"; n = 40; depth_hint = 6 })))
+      [ "bfdn"; "cte" ]
+  in
+  let results = Batch.run ~workers:1 jobs in
+  let agg = Batch.aggregate results in
+  checki "job count" 6 agg.jobs;
+  checki "no errors" 0 agg.errors;
+  checki "two algos" 2 (List.length agg.per_algo);
+  checkb "per-algo counts" true
+    (List.for_all (fun (_, (s : Bfdn_util.Stats.summary)) -> s.count = 3)
+       agg.per_algo)
+
+(* ---- Report ---- *)
+
+let test_report_json () =
+  let j =
+    Report.Obj
+      [
+        ("s", Report.String "a\"b\n");
+        ("i", Report.Int 3);
+        ("f", Report.Float 1.5);
+        ("nan", Report.Float Float.nan);
+        ("l", Report.List [ Report.Bool true; Report.Null ]);
+      ]
+  in
+  check Alcotest.string "rendering"
+    "{\"s\":\"a\\\"b\\n\",\"i\":3,\"f\":1.5,\"nan\":null,\"l\":[true,null]}"
+    (Report.to_string j)
+
+let test_report_of_sweep () =
+  let jobs =
+    List.init 4 (fun i ->
+        Job.make ~algo:"bfdn" ~k:2 ~seed:i
+          (Job.Generated { family = "star"; n = 15; depth_hint = 2 }))
+  in
+  let results = Batch.run ~workers:1 jobs in
+  let j =
+    Report.of_sweep ~label:"test" ~workers:2 ~wall:0.5 ~sequential_wall:1.0
+      results
+  in
+  let s = Report.to_string j in
+  let contains needle =
+    let nl = String.length needle and hl = String.length s in
+    let rec go i = i + nl <= hl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "has jobs_per_sec" true (contains "\"jobs_per_sec\":8");
+  checkb "has speedup" true (contains "\"speedup\":2");
+  checkb "has per-algo block" true (contains "\"bfdn\"")
+
+(* ---- adversarial replay invariant through the engine ---- *)
+
+let test_adversarial_replay_matches () =
+  List.iter
+    (fun policy ->
+      let job =
+        Job.make ~algo:"bfdn" ~k:4 ~seed:5
+          (Job.Adversarial { policy; capacity = 120; depth_budget = 15 })
+      in
+      let o = Job.run job in
+      match o.replay_rounds with
+      | None -> Alcotest.fail "adversarial job must report replay rounds"
+      | Some r ->
+          checki
+            (Printf.sprintf "frozen replay reproduces the run (%s)" policy)
+            o.result.rounds r)
+    [ "thick-comb"; "corridor"; "miser" ]
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  ( "engine",
+    [
+      tc "pool drains under 1/2/N workers" test_pool_drains;
+      tc "pool survives raising tasks" test_pool_survives_raising_task;
+      tc "pool shutdown is idempotent" test_pool_shutdown_idempotent;
+      tc "batch: parallel equals sequential" test_batch_parallel_equals_sequential;
+      tc "batch: progress monotone, collection ordered" test_batch_progress_and_order;
+      tc "batch: per-job errors are isolated" test_batch_error_isolated;
+      tc "batch: generic map" test_batch_map_generic;
+      tc "batch: aggregate summaries" test_aggregate;
+      tc "report: json rendering" test_report_json;
+      tc "report: sweep body" test_report_of_sweep;
+      tc "adversarial replay matches adaptive run" test_adversarial_replay_matches;
+    ] )

@@ -16,4 +16,5 @@ let () =
       Test_bounds.suite;
       Test_adversary.suite;
       Test_async.suite;
+      Test_engine.suite;
     ]

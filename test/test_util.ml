@@ -62,13 +62,47 @@ let test_rng_float_range () =
 
 let test_rng_split_independent () =
   let a = Rng.create 99 in
-  let b = Rng.split a in
+  let b = Rng.split a 0 in
   (* The split stream must not simply replay the parent stream. *)
   let same = ref 0 in
   for _ = 1 to 20 do
     if Rng.bits64 a = Rng.bits64 b then incr same
   done;
   checkb "split diverges" true (!same < 3)
+
+let test_rng_split_children_differ () =
+  (* Statistical smoke test: the first outputs of children 0..31 are
+     pairwise distinct, and sibling streams stay decorrelated over a
+     longer prefix. *)
+  let parent = Rng.create 2023 in
+  let firsts = Array.init 32 (fun i -> Rng.bits64 (Rng.split parent i)) in
+  let distinct = Hashtbl.create 64 in
+  Array.iter (fun x -> Hashtbl.replace distinct x ()) firsts;
+  checki "first outputs pairwise distinct" 32 (Hashtbl.length distinct);
+  let a = Rng.split parent 0 and b = Rng.split parent 1 in
+  let collisions = ref 0 in
+  for _ = 1 to 1000 do
+    if Rng.bits64 a = Rng.bits64 b then incr collisions
+  done;
+  checki "sibling streams decorrelated" 0 !collisions
+
+let test_rng_split_stable () =
+  (* Same parent state and index must give the same child stream across
+     runs (the engine's replay contract), and deriving a child must not
+     advance the parent. *)
+  let p1 = Rng.create 7 and p2 = Rng.create 7 in
+  let c1 = Rng.split p1 3 and c2 = Rng.split p2 3 in
+  for _ = 1 to 50 do
+    check Alcotest.int64 "same child stream" (Rng.bits64 c1) (Rng.bits64 c2)
+  done;
+  (* p1 handed out a child, p2 two more: their own streams must agree. *)
+  ignore (Rng.split p2 0);
+  ignore (Rng.split p2 1);
+  check Alcotest.int64 "parent not advanced" (Rng.bits64 p1) (Rng.bits64 p2)
+
+let test_rng_split_negative () =
+  Alcotest.check_raises "negative index" (Invalid_argument "Rng.split: negative index")
+    (fun () -> ignore (Rng.split (Rng.create 1) (-1)))
 
 let test_rng_copy () =
   let a = Rng.create 4 in
@@ -249,6 +283,9 @@ let suite =
       tc "rng int_in" test_rng_int_in;
       tc "rng float range" test_rng_float_range;
       tc "rng split independent" test_rng_split_independent;
+      tc "rng split children differ" test_rng_split_children_differ;
+      tc "rng split stable across runs" test_rng_split_stable;
+      tc "rng split negative index" test_rng_split_negative;
       tc "rng copy" test_rng_copy;
       tc "rng permutation" test_rng_permutation;
       tc "rng coin bias" test_rng_coin_bias;
