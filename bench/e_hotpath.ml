@@ -1,0 +1,191 @@
+(* E16 — hot-path throughput: rounds/sec and edge-events/sec of the
+   synchronous round loop (select + apply) for BFDN and CTE across
+   {comb, b-ary, random, CTE-trap} × k ∈ {8, 64, 512}. This is the
+   BENCH trajectory experiment: the numbers land in BENCH_hotpath.json
+   together with the frozen seed-implementation baseline (measured on
+   the same instances, same machine, before the zero-allocation round
+   loop landed), so every future PR can be judged against it.
+
+   The instances are the paper's adversarial regime — deep combs and the
+   CTE trap tree — where per-round costs dominate sweep wall time. *)
+
+open Bench_common
+module Table = Bfdn_util.Table
+
+let report_path = "BENCH_hotpath.json"
+
+(* (family, depth_hint): deep adversarial shapes, plus bushy and random. *)
+let families = [ ("comb", 60); ("binary", 12); ("random", 25); ("trap", 40) ]
+let ks = [ 8; 64; 512 ]
+let algos = [ "bfdn"; "cte" ]
+let nominal_n = 4000
+
+(* Rounds/sec of the seed (pre-optimization) implementation on the same
+   instances, captured at the default scale on the development machine the
+   day this experiment was added. Keyed (family, algo, k). Used only at
+   the default scale — at --quick/--full the instances differ. *)
+let seed_baseline : ((string * string * int) * float) list =
+  [
+    (("comb", "bfdn", 8), 667010.);
+    (("comb", "cte", 8), 526067.);
+    (("comb", "bfdn", 64), 197002.);
+    (("comb", "cte", 64), 141321.);
+    (("comb", "bfdn", 512), 13879.);
+    (("comb", "cte", 512), 12521.);
+    (("binary", "bfdn", 8), 582684.);
+    (("binary", "cte", 8), 491139.);
+    (("binary", "bfdn", 64), 63450.);
+    (("binary", "cte", 64), 49349.);
+    (("binary", "bfdn", 512), 6509.);
+    (("binary", "cte", 512), 3592.);
+    (("random", "bfdn", 8), 472755.);
+    (("random", "cte", 8), 421296.);
+    (("random", "bfdn", 64), 73731.);
+    (("random", "cte", 64), 55392.);
+    (("random", "bfdn", 512), 7866.);
+    (("random", "cte", 512), 6263.);
+    (("trap", "bfdn", 8), 326539.);
+    (("trap", "cte", 8), 375604.);
+    (("trap", "bfdn", 64), 103894.);
+    (("trap", "cte", 64), 120570.);
+    (("trap", "bfdn", 512), 12991.);
+    (("trap", "cte", 512), 13552.);
+  ]
+
+let baseline_for key =
+  if !scale <> Normal then None else List.assoc_opt key seed_baseline
+
+let algo_of name env =
+  match name with
+  | "bfdn" -> Bfdn.Bfdn_algo.algo (Bfdn.Bfdn_algo.make env)
+  | "cte" -> Bfdn_baselines.Cte.make env
+  | other -> invalid_arg ("e_hotpath: unknown algo " ^ other)
+
+type sample = {
+  s_rounds : int;
+  s_events : int;
+  s_wall : float; (* best (minimum) wall over the repetitions *)
+}
+
+(* One full exploration = one repetition; repeat until the total measured
+   time passes [min_total] (at least [min_reps] times), keep the fastest.
+   Runs are deterministic, so every repetition performs identical work. *)
+let measure ?(min_total = 0.4) ?(min_reps = 2) ?(max_reps = 6) tree k algo_name =
+  let rounds = ref 0 and events = ref 0 in
+  let best = ref infinity and total = ref 0.0 and reps = ref 0 in
+  while (!total < min_total || !reps < min_reps) && !reps < max_reps do
+    let t0 = Batch.now () in
+    let env = Env.create tree ~k in
+    let r = Runner.run (algo_of algo_name env) env in
+    let dt = Batch.now () -. t0 in
+    if not r.explored then failwith "e_hotpath: instance not explored";
+    rounds := r.rounds;
+    events := r.edge_events;
+    total := !total +. dt;
+    if dt < !best then best := dt;
+    incr reps
+  done;
+  { s_rounds = !rounds; s_events = !events; s_wall = !best }
+
+let config_rows () =
+  List.concat_map
+    (fun (family, depth_hint) ->
+      let tree =
+        Tree_gen.of_family family ~rng:(Rng.create seed) ~n:(sized nominal_n)
+          ~depth_hint
+      in
+      let n = Tree.n tree and depth = Tree.depth tree in
+      List.concat_map
+        (fun k ->
+          List.map
+            (fun algo ->
+              let s = measure tree k algo in
+              (family, n, depth, k, algo, s))
+            algos)
+        ks)
+    families
+
+let json_of_row (family, n, depth, k, algo, s) =
+  let rps = float_of_int s.s_rounds /. Float.max 1e-9 s.s_wall in
+  let eps = float_of_int s.s_events /. Float.max 1e-9 s.s_wall in
+  let base =
+    [
+      ("family", Engine_report.String family);
+      ("n", Engine_report.Int n);
+      ("depth", Engine_report.Int depth);
+      ("k", Engine_report.Int k);
+      ("algo", Engine_report.String algo);
+      ("rounds", Engine_report.Int s.s_rounds);
+      ("edge_events", Engine_report.Int s.s_events);
+      ("wall_seconds", Engine_report.Float s.s_wall);
+      ("rounds_per_sec", Engine_report.Float rps);
+      ("events_per_sec", Engine_report.Float eps);
+    ]
+  in
+  let vs_seed =
+    match baseline_for (family, algo, k) with
+    | None -> []
+    | Some b ->
+        [
+          ("seed_rounds_per_sec", Engine_report.Float b);
+          ("speedup_vs_seed", Engine_report.Float (rps /. Float.max 1e-9 b));
+        ]
+  in
+  Engine_report.Obj (base @ vs_seed)
+
+let scale_name () =
+  match !scale with Quick -> "quick" | Normal -> "normal" | Full -> "full"
+
+let run () =
+  header "E16 (hot path)"
+    "round-loop throughput, BFDN + CTE on deep adversarial instances";
+  let rows = config_rows () in
+  let t =
+    Table.create
+      ~caption:"rounds/sec and edge-events/sec of the synchronous round loop"
+      [
+        ("family", Table.Left); ("n", Table.Right); ("D", Table.Right);
+        ("k", Table.Right); ("algo", Table.Left); ("rounds", Table.Right);
+        ("rounds/s", Table.Right); ("events/s", Table.Right);
+        ("vs seed", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (family, n, depth, k, algo, s) ->
+      let rps = float_of_int s.s_rounds /. Float.max 1e-9 s.s_wall in
+      let eps = float_of_int s.s_events /. Float.max 1e-9 s.s_wall in
+      let vs =
+        match baseline_for (family, algo, k) with
+        | None -> "-"
+        | Some b -> Printf.sprintf "%.2fx" (rps /. Float.max 1e-9 b)
+      in
+      Table.add_row t
+        [
+          family; Table.fint n; Table.fint depth; Table.fint k; algo;
+          Table.fint s.s_rounds;
+          Table.ffloat ~decimals:0 rps; Table.ffloat ~decimals:0 eps; vs;
+        ])
+    rows;
+  Table.print t;
+  Engine_report.write ~path:report_path
+    (Engine_report.Obj
+       [
+         ("label", Engine_report.String "E16 hot-path throughput");
+         ("scale", Engine_report.String (scale_name ()));
+         ("configs", Engine_report.List (List.map json_of_row rows));
+       ]);
+  Printf.printf "report written to %s\n" report_path
+
+(* CI tripwire for --smoke: a tiny instance must explore, produce a
+   positive throughput, and two measurements of the same config must
+   report identical rounds (the measurement harness itself must not
+   perturb the deterministic round loop). *)
+let smoke () =
+  let tree =
+    Tree_gen.of_family "comb" ~rng:(Rng.create seed) ~n:300 ~depth_hint:15
+  in
+  let a = measure ~min_total:0.0 ~min_reps:1 ~max_reps:1 tree 8 "bfdn" in
+  let b = measure ~min_total:0.0 ~min_reps:1 ~max_reps:1 tree 8 "bfdn" in
+  let c = measure ~min_total:0.0 ~min_reps:1 ~max_reps:1 tree 8 "cte" in
+  a.s_rounds > 0 && a.s_rounds = b.s_rounds && a.s_events = b.s_events
+  && c.s_rounds > 0 && a.s_wall > 0.0

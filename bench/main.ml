@@ -22,6 +22,7 @@ let experiments =
     ("E12", E_overhead.run);
     ("E13+E14", E_extensions.run);
     ("E15", E_engine.run);
+    ("E16", E_hotpath.run);
     ("A1", E_ablation.run);
   ]
 

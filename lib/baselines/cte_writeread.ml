@@ -38,11 +38,8 @@ let make env =
     match Partial_tree.parent view child with
     | None -> ()
     | Some parent ->
-        let rec find = function
-          | [] -> () (* unreachable: the child is explored *)
-          | (p, c) :: rest -> if c = child then (board parent).done_ports.(p) <- true else find rest
-        in
-        find (Partial_tree.explored_children view parent)
+        let p = Partial_tree.parent_port view child in
+        if p >= 0 then (board parent).done_ports.(p) <- true
   in
   let select env =
     let k = Env.k env in

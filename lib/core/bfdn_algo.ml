@@ -5,9 +5,14 @@ module Rng = Bfdn_util.Rng
 
 type policy = Least_loaded | First_open | Random_open of Rng.t
 
+(* A robot's pending breadth-first route, int-coded into a reusable
+   per-robot buffer: -1 = Up, p >= 0 = Via_port p. The slice
+   [route_pos, route_len) holds the moves left to reach the anchor. *)
 type rstate = {
   mutable anchor : int;
-  mutable stack : Env.move list; (* moves left to reach the anchor *)
+  mutable route : int array;
+  mutable route_pos : int;
+  mutable route_len : int;
 }
 
 type t = {
@@ -23,8 +28,19 @@ type t = {
   dangle_cursor : int array;
   reanchor_counts : int array; (* indexed by anchor depth *)
   mutable reanchors_total : int;
-  (* round-local set of dangling edges selected by earlier robots *)
-  selected : (int * int, unit) Hashtbl.t;
+  (* Round-local count of dangling edges selected by earlier robots at
+     each node, stamped per select call. It replaces a set of (node, port)
+     pairs: the ports selected at a node within one round are always the
+     first unselected dangling ports past the cursor (each robot takes the
+     next one), so a count per node identifies them exactly. *)
+  sel_stamp : int array;
+  sel_cnt : int array;
+  mutable sel_epoch : int;
+  moves : Env.move array; (* returned by select, refilled each round *)
+  (* Cached [Via_port p] values indexed by port, so routing and depth-next
+     moves allocate nothing in steady state. Per-instance: instances may
+     run in parallel domains under the batch engine. *)
+  mutable via : Env.move array;
 }
 
 let make ?(policy = Least_loaded) ?(shortcut = false) env =
@@ -34,7 +50,9 @@ let make ?(policy = Least_loaded) ?(shortcut = false) env =
     env;
     policy;
     shortcut;
-    robots = Array.init (Env.k env) (fun _ -> { anchor = root; stack = [] });
+    robots =
+      Array.init (Env.k env) (fun _ ->
+          { anchor = root; route = Array.make 8 0; route_pos = 0; route_len = 0 });
     anchor_load =
       (let load = Array.make n 0 in
        load.(root) <- Env.k env;
@@ -42,8 +60,26 @@ let make ?(policy = Least_loaded) ?(shortcut = false) env =
     dangle_cursor = Array.make n 0;
     reanchor_counts = Array.make (Env.capacity env + 2) 0;
     reanchors_total = 0;
-    selected = Hashtbl.create 16;
+    sel_stamp = Array.make n (-1);
+    sel_cnt = Array.make n 0;
+    sel_epoch = 0;
+    moves = Array.make (Env.k env) Env.Stay;
+    via = Array.init 8 (fun p -> Env.Via_port p);
   }
+
+let via t p =
+  let len = Array.length t.via in
+  if p >= len then begin
+    let len' =
+      let l = ref len in
+      while p >= !l do
+        l := 2 * !l
+      done;
+      !l
+    in
+    t.via <- Array.init len' (fun q -> Env.Via_port q)
+  end;
+  t.via.(p)
 
 let next_dangling t view pos =
   let nports = Partial_tree.num_ports view pos in
@@ -51,60 +87,81 @@ let next_dangling t view pos =
      port selected by an earlier robot of the same round is only skipped
      transiently: if that robot's move is vetoed (reactive blocking,
      Remark 8) the port stays dangling and must remain reachable. *)
-  let rec scan c ~commit =
-    if c >= nports then None
-    else
-      match Partial_tree.port view pos c with
-      | Partial_tree.Dangling ->
-          if Hashtbl.mem t.selected (pos, c) then scan (c + 1) ~commit:false
-          else Some c
-      | Partial_tree.To_parent | Partial_tree.Child _ ->
-          if commit then t.dangle_cursor.(pos) <- c + 1;
-          scan (c + 1) ~commit
+  let skip0 = if t.sel_stamp.(pos) = t.sel_epoch then t.sel_cnt.(pos) else 0 in
+  let rec scan c ~skip ~commit =
+    if c >= nports then -1
+    else if Partial_tree.is_port_dangling view pos c then
+      if skip > 0 then scan (c + 1) ~skip:(skip - 1) ~commit:false else c
+    else begin
+      if commit then t.dangle_cursor.(pos) <- c + 1;
+      scan (c + 1) ~skip ~commit
+    end
   in
-  scan t.dangle_cursor.(pos) ~commit:true
+  scan t.dangle_cursor.(pos) ~skip:skip0 ~commit:true
 
-let least_loaded t candidates =
-  List.fold_left
-    (fun best v ->
-      match best with
-      | None -> Some v
-      | Some b ->
-          if
-            t.anchor_load.(v) < t.anchor_load.(b)
-            || (t.anchor_load.(v) = t.anchor_load.(b) && v < b)
-          then Some v
-          else best)
-    None candidates
+let mark_selected t pos =
+  if t.sel_stamp.(pos) = t.sel_epoch then t.sel_cnt.(pos) <- t.sel_cnt.(pos) + 1
+  else begin
+    t.sel_stamp.(pos) <- t.sel_epoch;
+    t.sel_cnt.(pos) <- 1
+  end
 
 let pick_anchor t view =
-  match Partial_tree.open_nodes_at_min_depth view with
-  | [] -> Partial_tree.root view
-  | candidates -> (
-      match t.policy with
-      | Least_loaded -> Option.get (least_loaded t candidates)
-      | First_open -> List.fold_left min (List.hd candidates) candidates
-      | Random_open rng -> Rng.pick rng (Array.of_list candidates))
+  let d = Partial_tree.min_open_depth_raw view in
+  if d < 0 then Partial_tree.root view
+  else
+    match t.policy with
+    | Least_loaded ->
+        (* Unique minimum (load, then id): independent of bucket order. *)
+        Partial_tree.fold_open_at_depth view d ~init:(-1) ~f:(fun b v ->
+            if
+              b < 0
+              || t.anchor_load.(v) < t.anchor_load.(b)
+              || (t.anchor_load.(v) = t.anchor_load.(b) && v < b)
+            then v
+            else b)
+    | First_open -> Partial_tree.fold_open_at_depth view d ~init:max_int ~f:min
+    | Random_open rng ->
+        (* Canonical order: the draw maps to the sorted candidate set, so
+           the result is independent of the open-bucket iteration order. *)
+        Rng.pick rng (Array.of_list (Partial_tree.open_nodes_at_depth view d))
 
-(* Moves from [src] to [dst] along the discovered tree: up to the lowest
-   common ancestor, then down the port path. With [src = root] this is the
+let ensure_route r needed =
+  if Array.length r.route < needed then begin
+    let cap = ref (Array.length r.route) in
+    while !cap < needed do
+      cap := 2 * !cap
+    done;
+    r.route <- Array.make !cap 0
+  end
+
+(* Moves from [src] to [dst] along the discovered tree, written into the
+   robot's reusable buffer: up to the lowest common ancestor, then down the
+   port path read off the parent-port cache. With [src = root] this is the
    plain Algorithm 1 stack. *)
-let route view src dst =
+let fill_route view r src dst =
   let rec lift u du w dw ups =
     if u = w then (u, ups)
     else if du >= dw then
-      lift (Option.get (Partial_tree.parent view u)) (du - 1) w dw (ups + 1)
-    else lift u du (Option.get (Partial_tree.parent view w)) (dw - 1) ups
+      lift (Partial_tree.parent_id view u) (du - 1) w dw (ups + 1)
+    else lift u du (Partial_tree.parent_id view w) (dw - 1) ups
   in
   let lca, ups =
     lift src (Partial_tree.depth_of view src) dst (Partial_tree.depth_of view dst) 0
   in
-  let rec drop n xs = if n = 0 then xs else match xs with [] -> [] | _ :: r -> drop (n - 1) r in
-  let downs =
-    List.map (fun p -> Env.Via_port p)
-      (drop (Partial_tree.depth_of view lca) (Partial_tree.ports_from_root view dst))
-  in
-  List.init ups (fun _ -> Env.Up) @ downs
+  let downs = Partial_tree.depth_of view dst - Partial_tree.depth_of view lca in
+  let len = ups + downs in
+  ensure_route r len;
+  Array.fill r.route 0 ups (-1);
+  let w = ref dst in
+  for j = len - 1 downto ups do
+    let p = Partial_tree.parent_port view !w in
+    if p < 0 then invalid_arg "Bfdn_algo.fill_route: broken parent link";
+    r.route.(j) <- p;
+    w := Partial_tree.parent_id view !w
+  done;
+  r.route_pos <- 0;
+  r.route_len <- len
 
 let reanchor t i =
   let view = Env.view t.env in
@@ -114,46 +171,49 @@ let reanchor t i =
   let v = pick_anchor t view in
   r.anchor <- v;
   t.anchor_load.(v) <- t.anchor_load.(v) + 1;
-  r.stack <- route view pos v;
+  fill_route view r pos v;
   let d = Partial_tree.depth_of view v in
   t.reanchor_counts.(d) <- t.reanchor_counts.(d) + 1;
   t.reanchors_total <- t.reanchors_total + 1
+
+(* Pop the next breadth-first move off the robot's route. *)
+let pop_route t r =
+  let c = r.route.(r.route_pos) in
+  r.route_pos <- r.route_pos + 1;
+  if c < 0 then Env.Up else via t c
 
 let select t =
   let view = Env.view t.env in
   let root = Partial_tree.root view in
   let k = Env.k t.env in
-  let moves = Array.make k Env.Stay in
-  Hashtbl.reset t.selected;
+  let moves = t.moves in
+  Array.fill moves 0 k Env.Stay;
+  t.sel_epoch <- t.sel_epoch + 1;
   for i = 0 to k - 1 do
     if Env.allowed t.env i then begin
       let r = t.robots.(i) in
       let pos = Env.position t.env i in
       if pos = root then reanchor t i;
-      match r.stack with
-      | m :: rest ->
-          (* Breadth-first move along the stacked route. *)
-          r.stack <- rest;
-          moves.(i) <- m
-      | [] -> (
-          (* Depth-next move. *)
-          match next_dangling t view pos with
-          | Some p ->
-              Hashtbl.replace t.selected (pos, p) ();
-              moves.(i) <- Env.Via_port p
-          | None ->
-              if pos <> root then begin
-                if t.shortcut && Partial_tree.min_open_depth view <> None then
-                  (* Ablation: re-anchor in place instead of walking home
-                     first (the paper keeps the walk for the write-read
-                     model; see Section 2). *)
-                  reanchor t i;
-                match r.stack with
-                | m :: rest ->
-                    r.stack <- rest;
-                    moves.(i) <- m
-                | [] -> moves.(i) <- Env.Up
-              end)
+      if r.route_pos < r.route_len then
+        (* Breadth-first move along the stacked route. *)
+        moves.(i) <- pop_route t r
+      else begin
+        (* Depth-next move. *)
+        let p = next_dangling t view pos in
+        if p >= 0 then begin
+          mark_selected t pos;
+          moves.(i) <- via t p
+        end
+        else if pos <> root then begin
+          if t.shortcut && Partial_tree.min_open_depth_raw view >= 0 then
+            (* Ablation: re-anchor in place instead of walking home first
+               (the paper keeps the walk for the write-read model; see
+               Section 2). *)
+            reanchor t i;
+          if r.route_pos < r.route_len then moves.(i) <- pop_route t r
+          else moves.(i) <- Env.Up
+        end
+      end
     end
   done;
   moves

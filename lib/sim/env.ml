@@ -37,6 +37,7 @@ let world_of_tree tree =
 
 type t = {
   world : world;
+  fixed : bool; (* tree-backed world: n/D/Δ never change after creation *)
   view : Partial_tree.t;
   k : int;
   positions : int array;
@@ -49,15 +50,22 @@ type t = {
   up_seen : bool array;
   mutable allowed_total : int;
   mutable multi_reveals : int;
+  (* Per-round scratch, reused across every {!apply} call so the steady
+     state round loop allocates nothing. *)
+  eff : move array; (* selected moves after masking, length k *)
+  tgt_dst : int array; (* resolved target node, -1 = no move, length k *)
+  tgt_port : int array; (* dangling port being crossed, -1 = none, length k *)
+  arriving : int array; (* per-node arrival counts, length capacity *)
 }
 
-let of_world ?(mask = fun ~round:_ ~robot:_ -> true) world ~k =
+let of_world ?(mask = fun ~round:_ ~robot:_ -> true) ?(fixed = false) world ~k =
   if k < 1 then invalid_arg "Env.create: k must be >= 1";
   let view = Partial_tree.Internal.create ~hidden_n:world.w_capacity ~root:world.w_root in
   Partial_tree.Internal.reveal view world.w_root ~parent:None
     ~num_ports:(world.w_degree ~node:world.w_root ~arriving:k ~round:0);
   {
     world;
+    fixed;
     view;
     k;
     positions = Array.make k world.w_root;
@@ -70,9 +78,13 @@ let of_world ?(mask = fun ~round:_ ~robot:_ -> true) world ~k =
     up_seen = Array.make world.w_capacity false;
     allowed_total = 0;
     multi_reveals = 0;
+    eff = Array.make k Stay;
+    tgt_dst = Array.make k (-1);
+    tgt_port = Array.make k (-1);
+    arriving = Array.make world.w_capacity 0;
   }
 
-let create ?mask tree ~k = of_world ?mask (world_of_tree tree) ~k
+let create ?mask tree ~k = of_world ?mask ~fixed:true (world_of_tree tree) ~k
 
 let set_reactive_blocker t blocker = t.blocker <- Some blocker
 
@@ -110,81 +122,98 @@ let oracle_max_degree t =
 
 let oracle_tree t = t.world.w_tree ()
 
-(* Resolve a selection to its target node, validating legality from the
-   discovered tree only; remember the port of dangling crossings. *)
-let target_of t i move =
-  let pos = t.positions.(i) in
-  match move with
-  | Stay -> None
-  | Up -> (
-      match Partial_tree.parent t.view pos with
-      | None -> invalid_arg "Env.apply: Up selected at the root"
-      | Some p -> Some (p, None))
-  | Via_port p -> (
-      let nports = Partial_tree.num_ports t.view pos in
-      if p < 0 || p >= nports then invalid_arg "Env.apply: port out of range";
-      match Partial_tree.port t.view pos p with
-      | Partial_tree.To_parent -> Some (Option.get (Partial_tree.parent t.view pos), None)
-      | Partial_tree.Child c -> Some (c, None)
-      | Partial_tree.Dangling -> Some (t.world.w_child pos p, Some p))
+let fixed_world t = t.fixed
 
 let apply t moves =
   if Array.length moves <> t.k then invalid_arg "Env.apply: wrong arity";
-  (* Count this round's allowance and pin masked robots. The reactive
-     blocker (Remark 8) sees the selected moves before deciding. *)
+  (* The reactive blocker (Remark 8) sees the selected moves before
+     deciding. Test-only adversary: this branch may allocate. *)
   let reactive =
     match t.blocker with
-    | None -> Array.make t.k true
+    | None -> None
     | Some blocker ->
         let verdict = blocker ~round:t.round ~selected:(Array.copy moves) in
         if Array.length verdict <> t.k then
           invalid_arg "Env.apply: reactive blocker returned wrong arity";
-        verdict
+        Some verdict
   in
-  let effective = Array.make t.k Stay in
+  (* Count this round's allowance and pin masked robots. *)
   for i = 0 to t.k - 1 do
-    if t.mask ~round:t.round ~robot:i && reactive.(i) then begin
+    t.eff.(i) <- Stay;
+    if
+      t.mask ~round:t.round ~robot:i
+      && (match reactive with None -> true | Some v -> v.(i))
+    then begin
       t.allowed_total <- t.allowed_total + 1;
-      effective.(i) <- moves.(i)
+      t.eff.(i) <- moves.(i)
     end
   done;
   (* Validate and resolve all targets before mutating anything: moves are
-     synchronous. *)
-  let targets = Array.mapi (fun i m -> target_of t i m) effective in
-  let arriving_at dst =
-    Array.fold_left
-      (fun acc tgt -> match tgt with Some (d, _) when d = dst -> acc + 1 | _ -> acc)
-      0 targets
-  in
+     synchronous. Targets are int-encoded ([tgt_dst] = -1 for Stay,
+     [tgt_port] = the dangling port being crossed or -1) so resolution
+     allocates nothing. *)
+  let dsts = t.tgt_dst and ports = t.tgt_port in
+  for i = 0 to t.k - 1 do
+    let pos = t.positions.(i) in
+    match t.eff.(i) with
+    | Stay ->
+        dsts.(i) <- -1;
+        ports.(i) <- -1
+    | Up ->
+        let p = Partial_tree.parent_id t.view pos in
+        if p < 0 then invalid_arg "Env.apply: Up selected at the root";
+        dsts.(i) <- p;
+        ports.(i) <- -1
+    | Via_port p ->
+        let nports = Partial_tree.num_ports t.view pos in
+        if p < 0 || p >= nports then invalid_arg "Env.apply: port out of range";
+        if Partial_tree.is_port_dangling t.view pos p then begin
+          dsts.(i) <- t.world.w_child pos p;
+          ports.(i) <- p
+        end
+        else begin
+          let c = Partial_tree.port_child_id t.view pos p in
+          dsts.(i) <- (if c >= 0 then c else Partial_tree.parent_id t.view pos);
+          ports.(i) <- -1
+        end
+  done;
+  (* Arrival counts in O(k): clear only the entries this round touches,
+     then count. The scratch array persists across rounds. *)
+  let arr = t.arriving in
+  for i = 0 to t.k - 1 do
+    if dsts.(i) >= 0 then arr.(dsts.(i)) <- 0
+  done;
+  for i = 0 to t.k - 1 do
+    if dsts.(i) >= 0 then arr.(dsts.(i)) <- arr.(dsts.(i)) + 1
+  done;
   (* Apply. Dangling ports are resolved at most once even when several
      robots cross the same new edge in the same round. *)
   for i = 0 to t.k - 1 do
-    match targets.(i) with
-    | None -> ()
-    | Some (dst, crossed) ->
-        let src = t.positions.(i) in
-        t.positions.(i) <- dst;
-        t.moves_total <- t.moves_total + 1;
-        t.moves_per_robot.(i) <- t.moves_per_robot.(i) + 1;
-        if Partial_tree.is_explored t.view dst then begin
-          (* First child-to-parent crossing is an edge event. *)
-          if
-            Partial_tree.depth_of t.view dst < Partial_tree.depth_of t.view src
-            && not t.up_seen.(src)
-          then begin
-            t.up_seen.(src) <- true;
-            t.edge_events <- t.edge_events + 1
-          end
-        end
-        else begin
-          (* New node: resolve the crossed dangling port and reveal. *)
-          let p = Option.get crossed in
-          let arriving = arriving_at dst in
-          if arriving > 1 then t.multi_reveals <- t.multi_reveals + 1;
-          Partial_tree.Internal.resolve_dangling t.view src p dst;
-          Partial_tree.Internal.reveal t.view dst ~parent:(Some src)
-            ~num_ports:(t.world.w_degree ~node:dst ~arriving ~round:t.round);
+    let dst = dsts.(i) in
+    if dst >= 0 then begin
+      let src = t.positions.(i) in
+      t.positions.(i) <- dst;
+      t.moves_total <- t.moves_total + 1;
+      t.moves_per_robot.(i) <- t.moves_per_robot.(i) + 1;
+      if Partial_tree.is_explored t.view dst then begin
+        (* First child-to-parent crossing is an edge event. *)
+        if
+          Partial_tree.depth_of t.view dst < Partial_tree.depth_of t.view src
+          && not t.up_seen.(src)
+        then begin
+          t.up_seen.(src) <- true;
           t.edge_events <- t.edge_events + 1
         end
+      end
+      else begin
+        (* New node: resolve the crossed dangling port and reveal. *)
+        let arriving = arr.(dst) in
+        if arriving > 1 then t.multi_reveals <- t.multi_reveals + 1;
+        Partial_tree.Internal.resolve_dangling t.view src ports.(i) dst;
+        Partial_tree.Internal.reveal t.view dst ~parent:(Some src)
+          ~num_ports:(t.world.w_degree ~node:dst ~arriving ~round:t.round);
+        t.edge_events <- t.edge_events + 1
+      end
+    end
   done;
   t.round <- t.round + 1

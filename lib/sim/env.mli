@@ -56,9 +56,15 @@ type world = {
       (** freeze the materialized tree *)
 }
 
-val of_world : ?mask:mask -> world -> k:int -> t
+val of_world : ?mask:mask -> ?fixed:bool -> world -> k:int -> t
+(** [fixed] (default [false]) declares that the world's [w_stats] never
+    change after creation, letting {!Runner.run} compute its termination
+    bound once instead of every round. {!create} sets it. *)
 
 val world_of_tree : Bfdn_trees.Tree.t -> world
+
+val fixed_world : t -> bool
+(** Whether the hidden world was declared fixed at creation. *)
 
 val k : t -> int
 

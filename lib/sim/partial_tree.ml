@@ -7,16 +7,29 @@ type port_state = To_parent | Dangling | Child of node
 let enc_parent = -1
 let enc_dangling = -2
 
+(* Open-node bucket: a swap-remove dynamic array. Iteration order is
+   deterministic — a pure function of the add/remove call sequence (which
+   the synchronous simulator fully determines): nodes appear in insertion
+   order except that removing a node moves the bucket's last node into the
+   freed slot. Consumers that need a canonical order must sort (the list
+   API does); the fold API exposes the raw order for O(1)-per-node scans
+   whose reductions are order-independent. *)
+type bucket = { mutable nodes : int array; mutable len : int }
+
 type t = {
   root : node;
   explored : bool array;
   nports : int array;
   parents : int array;
+  parent_ports : int array;
+      (* port on the parent leading down to the node; -1 for the root and
+         for nodes whose parent edge was never resolved (fixtures only) *)
   depths : int array;
   port_child : int array array;
   dangling_cnt : int array;
   subtree_dangling : int array;
-  open_at : (node, unit) Hashtbl.t option array; (* indexed by depth *)
+  open_at : bucket option array; (* indexed by depth *)
+  in_bucket : int array; (* index of the node inside its depth bucket; -1 *)
   mutable min_open_ptr : int;
   mutable total_dangling : int;
   mutable num_explored : int;
@@ -43,6 +56,29 @@ let port t v p =
   else if e = enc_dangling then Dangling
   else Child e
 
+let is_port_dangling t v p =
+  check_explored t v "Partial_tree.is_port_dangling";
+  t.port_child.(v).(p) = enc_dangling
+
+let port_child_id t v p =
+  check_explored t v "Partial_tree.port_child_id";
+  let e = t.port_child.(v).(p) in
+  if e >= 0 then e else -1
+
+let iter_dangling_ports t v f =
+  check_explored t v "Partial_tree.iter_dangling_ports";
+  let ports = t.port_child.(v) in
+  for p = 0 to Array.length ports - 1 do
+    if ports.(p) = enc_dangling then f p
+  done
+
+let iter_explored_children t v f =
+  check_explored t v "Partial_tree.iter_explored_children";
+  let ports = t.port_child.(v) in
+  for p = 0 to Array.length ports - 1 do
+    if ports.(p) >= 0 then f p ports.(p)
+  done
+
 let dangling_ports t v =
   check_explored t v "Partial_tree.dangling_ports";
   let acc = ref [] in
@@ -65,6 +101,14 @@ let parent t v =
   check_explored t v "Partial_tree.parent";
   if v = t.root then None else Some t.parents.(v)
 
+let parent_id t v =
+  check_explored t v "Partial_tree.parent_id";
+  if v = t.root then -1 else t.parents.(v)
+
+let parent_port t v =
+  check_explored t v "Partial_tree.parent_port";
+  t.parent_ports.(v)
+
 let depth_of t v =
   check_explored t v "Partial_tree.depth_of";
   t.depths.(v)
@@ -77,26 +121,43 @@ let subtree_open t v =
 
 let max_depth_index t = Array.length t.open_at - 1
 
-let min_open_depth t =
-  if t.total_dangling = 0 then None
+let bucket_len t d =
+  match t.open_at.(d) with None -> 0 | Some b -> b.len
+
+let min_open_depth_raw t =
+  if t.total_dangling = 0 then -1
   else begin
     let d = ref t.min_open_ptr in
-    let bucket_empty d =
-      match t.open_at.(d) with None -> true | Some h -> Hashtbl.length h = 0
-    in
-    while !d <= max_depth_index t && bucket_empty !d do
+    while !d <= max_depth_index t && bucket_len t !d = 0 do
       incr d
     done;
     t.min_open_ptr <- !d;
-    if !d > max_depth_index t then None else Some !d
+    if !d > max_depth_index t then -1 else !d
   end
 
-let open_nodes_at_depth t d =
-  if d < 0 || d > max_depth_index t then []
+let min_open_depth t =
+  let d = min_open_depth_raw t in
+  if d < 0 then None else Some d
+
+let num_open_at_depth t d =
+  if d < 0 || d > max_depth_index t then 0 else bucket_len t d
+
+let fold_open_at_depth t d ~init ~f =
+  if d < 0 || d > max_depth_index t then init
   else
     match t.open_at.(d) with
-    | None -> []
-    | Some h -> Hashtbl.fold (fun v () acc -> v :: acc) h []
+    | None -> init
+    | Some b ->
+        let acc = ref init in
+        for i = 0 to b.len - 1 do
+          acc := f !acc b.nodes.(i)
+        done;
+        !acc
+
+let open_nodes_at_depth t d =
+  (* Canonical (sorted) order, independent of the bucket's internal
+     swap-remove order. *)
+  List.sort compare (fold_open_at_depth t d ~init:[] ~f:(fun acc v -> v :: acc))
 
 let open_nodes_at_min_depth t =
   match min_open_depth t with None -> [] | Some d -> open_nodes_at_depth t d
@@ -110,19 +171,13 @@ let is_ancestor t a v =
 
 let ports_from_root t v =
   check_explored t v "Partial_tree.ports_from_root";
-  (* Walk up, recording at each parent the port that leads back down. *)
+  (* Walk up through the parent-port cache: O(depth), no port-array scans. *)
   let rec up v acc =
     if v = t.root then acc
     else begin
-      let p = t.parents.(v) in
-      let ports = t.port_child.(p) in
-      let rec find i =
-        if i >= Array.length ports then
-          invalid_arg "Partial_tree.ports_from_root: broken parent link"
-        else if ports.(i) = v then i
-        else find (i + 1)
-      in
-      up p (find 0 :: acc)
+      let p = t.parent_ports.(v) in
+      if p < 0 then invalid_arg "Partial_tree.ports_from_root: broken parent link";
+      up t.parents.(v) (p :: acc)
     end
   in
   up v []
@@ -136,21 +191,38 @@ let fold_explored t ~init ~f =
 
 let bucket t d =
   match t.open_at.(d) with
-  | Some h -> h
+  | Some b -> b
   | None ->
-      let h = Hashtbl.create 8 in
-      t.open_at.(d) <- Some h;
-      h
+      let b = { nodes = Array.make 8 (-1); len = 0 } in
+      t.open_at.(d) <- Some b;
+      b
 
 let add_open t v =
   let d = t.depths.(v) in
-  Hashtbl.replace (bucket t d) v ();
+  let b = bucket t d in
+  let cap = Array.length b.nodes in
+  if b.len = cap then begin
+    let nodes = Array.make (2 * cap) (-1) in
+    Array.blit b.nodes 0 nodes 0 cap;
+    b.nodes <- nodes
+  end;
+  b.nodes.(b.len) <- v;
+  t.in_bucket.(v) <- b.len;
+  b.len <- b.len + 1;
   if d < t.min_open_ptr then t.min_open_ptr <- d
 
 let remove_open t v =
-  match t.open_at.(t.depths.(v)) with
-  | None -> ()
-  | Some h -> Hashtbl.remove h v
+  let i = t.in_bucket.(v) in
+  if i >= 0 then begin
+    match t.open_at.(t.depths.(v)) with
+    | None -> ()
+    | Some b ->
+        let last = b.nodes.(b.len - 1) in
+        b.nodes.(i) <- last;
+        t.in_bucket.(last) <- i;
+        b.len <- b.len - 1;
+        t.in_bucket.(v) <- -1
+  end
 
 let bump_path t v delta =
   let u = ref v in
@@ -181,14 +253,44 @@ let check_invariants t =
         expected_sub.(!u) <- expected_sub.(!u) + cnt;
         if !u = t.root then continue := false else u := t.parents.(!u)
       done;
-      let in_bucket =
+      (* Parent-port cache: when set, the parent's port must lead back. *)
+      if v <> t.root then begin
+        let pp = t.parent_ports.(v) in
+        let parent_ports_arr = t.port_child.(t.parents.(v)) in
+        if pp >= 0 then begin
+          if pp >= Array.length parent_ports_arr || parent_ports_arr.(pp) <> v
+          then fail "parent_port cache points to the wrong port"
+        end
+        else if Array.exists (fun e -> e = v) parent_ports_arr then
+          fail "parent_port cache missing for a resolved child"
+      end
+      else if t.parent_ports.(v) <> -1 then fail "root has a parent_port";
+      (* Open-node index: in the bucket iff open, at the recorded slot. *)
+      let i = t.in_bucket.(v) in
+      if (cnt > 0) <> (i >= 0) then fail "open-node index mismatch";
+      if i >= 0 then
         match t.open_at.(t.depths.(v)) with
-        | None -> false
-        | Some h -> Hashtbl.mem h v
-      in
-      if (cnt > 0) <> in_bucket then fail "open-node index mismatch"
+        | None -> fail "in_bucket set but no bucket at the node's depth"
+        | Some b ->
+            if i >= b.len || b.nodes.(i) <> v then
+              fail "in_bucket slot does not hold the node"
     end
+    else if t.in_bucket.(v) <> -1 then fail "unexplored node indexed as open"
   done;
+  (* Every bucket slot points back through in_bucket, at the right depth. *)
+  Array.iteri
+    (fun d b ->
+      match b with
+      | None -> ()
+      | Some b ->
+          for i = 0 to b.len - 1 do
+            let v = b.nodes.(i) in
+            if v < 0 || v >= n || not t.explored.(v) then
+              fail "bucket holds an invalid node";
+            if t.in_bucket.(v) <> i then fail "bucket slot/in_bucket disagree";
+            if t.depths.(v) <> d then fail "bucket holds a node of another depth"
+          done)
+    t.open_at;
   if !expected_total <> t.total_dangling then fail "total_dangling mismatch";
   for v = 0 to n - 1 do
     if t.explored.(v) && expected_sub.(v) <> t.subtree_dangling.(v) then
@@ -212,11 +314,13 @@ module Internal = struct
       explored = Array.make hidden_n false;
       nports = Array.make hidden_n (-1);
       parents = Array.make hidden_n (-1);
+      parent_ports = Array.make hidden_n (-1);
       depths = Array.make hidden_n (-1);
       port_child = Array.make hidden_n [||];
       dangling_cnt = Array.make hidden_n 0;
       subtree_dangling = Array.make hidden_n 0;
       open_at = Array.make (hidden_n + 1) None;
+      in_bucket = Array.make hidden_n (-1);
       min_open_ptr = 0;
       total_dangling = 0;
       num_explored = 0;
@@ -258,6 +362,7 @@ module Internal = struct
       invalid_arg "Partial_tree.resolve_dangling: port not dangling";
     t.port_child.(v).(p) <- c;
     t.parents.(c) <- v;
+    t.parent_ports.(c) <- p;
     t.dangling_cnt.(v) <- t.dangling_cnt.(v) - 1;
     t.total_dangling <- t.total_dangling - 1;
     bump_path t v (-1);

@@ -40,14 +40,44 @@ val num_ports : t -> node -> int
 val port : t -> node -> int -> port_state
 (** State of one port of an explored node. *)
 
+val is_port_dangling : t -> node -> int -> bool
+(** Allocation-free test of one port's state — equivalent to
+    [port t v p = Dangling] without materializing the variant. Hot-path
+    accessor: the port index must be in range (out-of-range indices fail
+    with the array bounds check). *)
+
+val port_child_id : t -> node -> int -> node
+(** The explored child behind a port, or [-1] when the port leads to the
+    parent or is dangling. Allocation-free hot-path accessor. *)
+
 val dangling_ports : t -> node -> int list
-(** Ports of an explored node that are dangling, in increasing order. *)
+(** Ports of an explored node that are dangling, in increasing order.
+    Builds a fresh list; iterate with {!iter_dangling_ports} on hot paths. *)
+
+val iter_dangling_ports : t -> node -> (int -> unit) -> unit
+(** Apply a function to each dangling port in increasing order, without
+    building a list. *)
 
 val explored_children : t -> node -> (int * node) list
-(** [(port, child)] pairs for explored children, in increasing port order. *)
+(** [(port, child)] pairs for explored children, in increasing port order.
+    Builds a fresh list; iterate with {!iter_explored_children} on hot
+    paths. *)
+
+val iter_explored_children : t -> node -> (int -> node -> unit) -> unit
+(** Apply [f port child] to each explored child in increasing port order,
+    without building a list. *)
 
 val parent : t -> node -> node option
 (** [None] for the root. Defined for explored nodes. *)
+
+val parent_id : t -> node -> node
+(** The parent's id, or [-1] for the root — {!parent} without the option
+    allocation. *)
+
+val parent_port : t -> node -> int
+(** The port {e on the parent} that leads down to the node, cached when the
+    node's parent edge was resolved; [-1] for the root (and for fixture
+    nodes revealed without {!Internal.resolve_dangling}). O(1). *)
 
 val depth_of : t -> node -> int
 (** Distance to the root (known online: nodes are reached along discovered
@@ -68,11 +98,29 @@ val subtree_open : t -> node -> bool
 val min_open_depth : t -> int option
 (** Minimum depth of an open node, [None] when exploration is complete. *)
 
+val min_open_depth_raw : t -> int
+(** {!min_open_depth} without the option allocation; [-1] when complete. *)
+
 val open_nodes_at_depth : t -> int -> node list
-(** All open nodes at one depth (unsorted). *)
+(** All open nodes at one depth, sorted by node id (the canonical order —
+    independent of the internal bucket layout). Builds a fresh list; use
+    {!fold_open_at_depth} on hot paths. *)
 
 val open_nodes_at_min_depth : t -> node list
 (** [open_nodes_at_depth] at {!min_open_depth}; [[]] when complete. *)
+
+val num_open_at_depth : t -> int -> int
+(** Number of open nodes at one depth. O(1). *)
+
+val fold_open_at_depth : t -> int -> init:'a -> f:('a -> node -> 'a) -> 'a
+(** Fold over the open nodes of one depth without allocating, in the
+    bucket's internal order. That order is deterministic — a pure function
+    of the reveal/resolve call sequence (insertion order, with removals
+    moving the bucket's last node into the freed slot) — but {e not}
+    canonical: it is not sorted and may differ between two discovery
+    histories of the same frontier. Reductions over it must therefore be
+    order-independent (min/max/count/uniquely-tie-broken argmin); anything
+    order-sensitive must sort first, as {!open_nodes_at_depth} does. *)
 
 val is_ancestor : t -> node -> node -> bool
 (** [is_ancestor t a v]: [a] lies on the (discovered) path from [v] to the
@@ -80,13 +128,15 @@ val is_ancestor : t -> node -> node -> bool
 
 val ports_from_root : t -> node -> int list
 (** The port sequence leading from the root to an explored node — the
-    stack contents of Algorithm 1 line 8 (in traversal order). *)
+    stack contents of Algorithm 1 line 8 (in traversal order). O(depth):
+    reads the {!parent_port} cache, no port-array scans. *)
 
 val fold_explored : t -> init:'a -> f:('a -> node -> 'a) -> 'a
 
 val check_invariants : t -> unit
 (** Exhaustive O(n·D) re-verification of the incremental bookkeeping
-    (dangling counters, open-node index). For tests.
+    (dangling counters, open-node buckets and their back-indices, the
+    parent-port cache). For tests.
     @raise Invalid_argument on a broken invariant. *)
 
 (** Mutators, reserved to {!Env}: the simulator is the only component that

@@ -17,10 +17,16 @@ let default_max_rounds env =
   (3 * Env.oracle_n env * (Env.oracle_depth env + 2)) + 100
 
 let run ?max_rounds ?(on_round = fun _ -> ()) algo env =
-  (* Recomputed each round: against a lazily materialized world the
-     termination bound grows as nodes are revealed. *)
-  let limit () =
-    match max_rounds with Some m -> m | None -> default_max_rounds env
+  (* The bound only needs recomputing against a lazily materialized world,
+     where it grows as nodes are revealed; for fixed-tree worlds it is
+     memoized at the first round. *)
+  let limit =
+    match max_rounds with
+    | Some m -> fun () -> m
+    | None when Env.fixed_world env ->
+        let m = lazy (default_max_rounds env) in
+        fun () -> Lazy.force m
+    | None -> fun () -> default_max_rounds env
   in
   let hit_limit = ref false in
   let continue = ref true in

@@ -48,15 +48,14 @@ let render_frame env =
         "  <- robots [" ^ String.concat "," ids ^ "]"
   in
   let rec draw v indent =
-    let dangle = List.length (Partial_tree.dangling_ports view v) in
+    let dangle = ref 0 in
+    Partial_tree.iter_dangling_ports view v (fun _ -> incr dangle);
     Buffer.add_string buf indent;
     Buffer.add_string buf (string_of_int v);
-    if dangle > 0 then Buffer.add_string buf (Printf.sprintf " (+%d?)" dangle);
+    if !dangle > 0 then Buffer.add_string buf (Printf.sprintf " (+%d?)" !dangle);
     Buffer.add_string buf (robot_mark v);
     Buffer.add_char buf '\n';
-    List.iter
-      (fun (_, c) -> draw c (indent ^ "  "))
-      (Partial_tree.explored_children view v)
+    Partial_tree.iter_explored_children view v (fun _ c -> draw c (indent ^ "  "))
   in
   Buffer.add_string buf
     (Printf.sprintf "round %d: %d explored, %d dangling\n" (Env.round env)

@@ -6,7 +6,9 @@ let () =
       Test_util.suite;
       Test_trees.suite;
       Test_sim.suite;
+      Test_partial_diff.suite;
       Test_bfdn.suite;
+      Test_golden.suite;
       Test_urn.suite;
       Test_planner.suite;
       Test_graphs.suite;
