@@ -10,10 +10,17 @@ module Table = Bfdn_util.Table
 module Job = Bfdn_engine.Job
 module Batch = Bfdn_engine.Batch
 module Engine_report = Bfdn_engine.Report
+module Metrics = Bfdn_obs.Metrics
+module Probe = Bfdn_obs.Probe
 
 type scale = Quick | Normal | Full
 
 let scale = ref Normal
+
+(* Print per-phase timing breakdowns in experiments that support them
+   (--profile). Off by default: the breakdown needs an enabled probe,
+   and the headline numbers are always measured with the no-op one. *)
+let profile = ref false
 
 (* Worker count for engine-backed experiments (--jobs=N). The results are
    deterministic whatever this is set to; it only changes wall time. *)

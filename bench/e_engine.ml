@@ -90,7 +90,7 @@ let run () =
   Printf.printf "deterministic across worker counts: %s\n"
     (if deterministic then "yes" else "NO — ENGINE BUG");
   Engine_report.write ~path:report_path
-    (Engine_report.of_sweep ~label:"E15 reference sweep" ~workers:!workers
+    (Engine_report.of_sweep ~label:"E15 reference sweep" ~workers:!workers ~seed
        ~wall:par_wall ~sequential_wall:seq_wall parallel);
   Printf.printf "report written to %s\n" report_path;
   if not deterministic then exit 1

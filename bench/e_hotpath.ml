@@ -55,10 +55,10 @@ let seed_baseline : ((string * string * int) * float) list =
 let baseline_for key =
   if !scale <> Normal then None else List.assoc_opt key seed_baseline
 
-let algo_of name env =
+let algo_of ?(probe = Probe.noop) name env =
   match name with
-  | "bfdn" -> Bfdn.Bfdn_algo.algo (Bfdn.Bfdn_algo.make env)
-  | "cte" -> Bfdn_baselines.Cte.make env
+  | "bfdn" -> Bfdn.Bfdn_algo.algo (Bfdn.Bfdn_algo.make ~probe env)
+  | "cte" -> Bfdn_baselines.Cte.make ~probe env
   | other -> invalid_arg ("e_hotpath: unknown algo " ^ other)
 
 type sample = {
@@ -70,13 +70,14 @@ type sample = {
 (* One full exploration = one repetition; repeat until the total measured
    time passes [min_total] (at least [min_reps] times), keep the fastest.
    Runs are deterministic, so every repetition performs identical work. *)
-let measure ?(min_total = 0.4) ?(min_reps = 2) ?(max_reps = 6) tree k algo_name =
+let measure ?(probe = Probe.noop) ?(min_total = 0.4) ?(min_reps = 2)
+    ?(max_reps = 6) tree k algo_name =
   let rounds = ref 0 and events = ref 0 in
   let best = ref infinity and total = ref 0.0 and reps = ref 0 in
   while (!total < min_total || !reps < min_reps) && !reps < max_reps do
     let t0 = Batch.now () in
-    let env = Env.create tree ~k in
-    let r = Runner.run (algo_of algo_name env) env in
+    let env = Env.create ~probe tree ~k in
+    let r = Runner.run ~probe (algo_of ~probe algo_name env) env in
     let dt = Batch.now () -. t0 in
     if not r.explored then failwith "e_hotpath: instance not explored";
     rounds := r.rounds;
@@ -133,6 +134,212 @@ let json_of_row (family, n, depth, k, algo, s) =
   in
   Engine_report.Obj (base @ vs_seed)
 
+(* ---- probe overhead ----
+
+   The acceptance bar for the obs subsystem: a fully enabled metrics
+   probe (clock reads bracketing each phase, per-round counters,
+   reanchor histograms) must cost <= 2% vs the no-op default. Measured
+   at k = 512, where a round does enough real work that the handful of
+   counter bumps and three monotonic-clock reads are noise; at tiny k
+   the relative cost is meaningless (a round is tens of nanoseconds). *)
+
+let overhead_k = 512
+
+type overhead_row = {
+  o_family : string;
+  o_algo : string;
+  o_plain : sample;
+  o_probed : sample;
+  o_ratio : float; (* probed/plain wall ratio over the cleanest segments *)
+  o_reg : Metrics.t; (* registry filled by the probed repetitions *)
+}
+
+let overhead_pct r = 100.0 *. (r.o_ratio -. 1.0)
+
+(* Segment width for overhead timing, in rounds. Small enough that a
+   segment (~0.4–1 ms at k = 512) can fall between bursts of competing
+   load on a shared core; large enough that the per-segment clock reads
+   (two per [overhead_seg] rounds, added identically to both sides) are
+   far below the effect being measured. Power of two: the round check
+   is a single [land]. *)
+let overhead_seg = 16
+
+(* Mutable measurement state for one (family, algo) overhead config. *)
+type overhead_cfg = {
+  c_family : string;
+  c_algo : string;
+  c_reg : Metrics.t;
+  (* One timed sample: an inner-batched block of explorations
+     alternating plain/probed per exploration, each exploration feeding
+     per-[overhead_seg]-round segment walls into [c_plains]/[c_probeds]. *)
+  c_one : unit -> unit;
+  c_rounds : int;
+  c_events : int;
+  c_plains : float list ref; (* per-segment plain walls *)
+  c_probeds : float list ref; (* per-segment probed walls *)
+}
+
+(* Plain and probed repetitions are interleaved and each side keeps its
+   best wall time: CPU-frequency drift between "first measure A, then
+   measure B" sessions easily exceeds the effect being measured, but it
+   hits both sides of an interleaved pair equally. *)
+let overhead_rows () =
+  let pairs = match !scale with Quick -> 4 | Normal -> 24 | Full -> 48 in
+  let cfgs =
+    List.concat_map
+      (fun (family, depth_hint) ->
+        let tree =
+          Tree_gen.of_family family ~rng:(Rng.create seed) ~n:(sized nominal_n)
+            ~depth_hint
+        in
+        List.map
+          (fun algo ->
+            let reg = Metrics.create () in
+            let probe = Probe.of_metrics reg in
+            (* [explore probe out] runs one full exploration and, when
+               [out] is given, appends the wall time of every completed
+               [overhead_seg]-round segment to it. The segment clock
+               lives in [Runner.run]'s [on_round] hook, which both the
+               instrumented and the plain loop call identically — so
+               the (tiny) measurement cost is paid by both sides and
+               cancels in the ratio. *)
+            let explore ?out probe =
+              let env = Env.create ~probe tree ~k:overhead_k in
+              let a = algo_of ~probe algo env in
+              let r =
+                match out with
+                | None -> Runner.run ~probe a env
+                | Some acc ->
+                    let last = ref (Bfdn_util.Clock.now ()) in
+                    let on_round env =
+                      if Env.round env land (overhead_seg - 1) = 0 then begin
+                        let t = Bfdn_util.Clock.now () in
+                        acc := (t -. !last) :: !acc;
+                        last := t
+                      end
+                    in
+                    Runner.run ~probe ~on_round a env
+              in
+              if not r.Runner.explored then
+                failwith "e_hotpath: overhead instance not explored";
+              (r.Runner.rounds, r.Runner.edge_events)
+            in
+            (* Warm up, and batch enough explorations per timed sample
+               that a sample lasts >= ~20ms: a 1ms run cannot be timed
+               to the precision the 2% question needs. *)
+            let t0 = Batch.now () in
+            let rounds, events = explore Probe.noop in
+            let est = Batch.now () -. t0 in
+            let inner =
+              max 1 (int_of_float (Float.ceil (0.02 /. Float.max 1e-6 est)))
+            in
+            (* Alternate plain/probed per ~1ms exploration inside one
+               sample, accumulating a separate timer for each side: CPU
+               frequency state and ambient load are then identical for
+               both sides of the ratio, which neither best-of (defeated
+               by sparse turbo windows landing on one side) nor coarse
+               per-sample pairing (defeated by bursts shorter than a
+               sample) guarantees. *)
+            let plains = ref [] and probeds = ref [] in
+            let one () =
+              let timed out p =
+                let rd, ev = explore ~out p in
+                if rd <> rounds || ev <> events then
+                  failwith "e_hotpath: enabled probe perturbed the round loop"
+              in
+              for it = 1 to inner do
+                (* Swap which side runs first each iteration: GC pauses
+                   are phase-locked to the allocation cycle (every
+                   exploration allocates a fresh env, so minor
+                   collections recur every few explorations) and would
+                   otherwise land systematically in one side's half. *)
+                if it land 1 = 0 then begin
+                  timed plains Probe.noop;
+                  timed probeds probe
+                end
+                else begin
+                  timed probeds probe;
+                  timed plains Probe.noop
+                end
+              done
+            in
+            { c_family = family; c_algo = algo; c_reg = reg; c_one = one;
+              c_rounds = rounds; c_events = events;
+              c_plains = plains; c_probeds = probeds })
+          algos)
+      families
+  in
+  (* Samples are round-robined across configs so each config's samples
+     span the whole multi-second measurement window rather than one
+     contiguous slice a single noise burst can cover. *)
+  for _ = 1 to pairs do
+    List.iter (fun c -> c.c_one ()) cfgs
+  done;
+  List.map
+    (fun c ->
+      (* Overhead estimator: each side independently keeps the quartile
+         of smallest per-segment walls, and the estimate is the ratio
+         of the two trimmed means. Machine noise (a shared single core
+         with bursty competing load) is additive and heavy-tailed, so a
+         full-sum ratio is dominated by whichever side the largest
+         bursts happened to land on, and whole-exploration statistics
+         cannot help the slow configs at all — a 60 ms exploration
+         virtually always absorbs a burst, so best-of, medians and
+         trimmed sums over explorations all carry multi-percent
+         variance. A ~0.5 ms segment, in contrast, fits between bursts;
+         with hundreds of segments per side the cleanest quartile is
+         burst-free on both sides, and the per-exploration interleaving
+         of [one] keeps the two sides' quiet segments comparable (same
+         frequency state, same ambient load). *)
+      let trimmed l =
+        let a = Array.of_list l in
+        Array.sort compare a;
+        let keep = max 1 (Array.length a / 4) in
+        let s = ref 0.0 in
+        for i = 0 to keep - 1 do
+          s := !s +. a.(i)
+        done;
+        !s /. float_of_int keep
+      in
+      let tp = trimmed !(c.c_plains) in
+      let tq = trimmed !(c.c_probeds) in
+      (* Reconstruct a clean-run-equivalent wall for the r/s display:
+         per-round time is (trimmed segment wall) / overhead_seg. *)
+      let wall_of per_seg =
+        per_seg /. float_of_int overhead_seg *. float_of_int c.c_rounds
+      in
+      let sample wall =
+        { s_rounds = c.c_rounds; s_events = c.c_events; s_wall = wall }
+      in
+      { o_family = c.c_family; o_algo = c.c_algo;
+        o_plain = sample (wall_of tp); o_probed = sample (wall_of tq);
+        o_ratio = tq /. Float.max 1e-12 tp; o_reg = c.c_reg })
+    cfgs
+
+let json_of_overhead r =
+  Engine_report.Obj
+    [
+      ("family", Engine_report.String r.o_family);
+      ("algo", Engine_report.String r.o_algo);
+      ("k", Engine_report.Int overhead_k);
+      ("plain_wall_seconds", Engine_report.Float r.o_plain.s_wall);
+      ("probed_wall_seconds", Engine_report.Float r.o_probed.s_wall);
+      ("overhead_pct", Engine_report.Float (overhead_pct r));
+    ]
+
+(* Per-phase wall share recorded by the probe, for --profile. *)
+let profile_row r =
+  let ns name =
+    match Metrics.find_counter r.o_reg name with
+    | Some c -> Metrics.value c
+    | None -> 0
+  in
+  let sel = ns "select_ns" and app = ns "apply_ns" in
+  let fin = ns "finished_check_ns" in
+  let total = Float.max 1.0 (float_of_int (sel + app + fin)) in
+  let pct x = 100.0 *. float_of_int x /. total in
+  (pct sel, pct app, pct fin, ns "reanchors")
+
 let scale_name () =
   match !scale with Quick -> "quick" | Normal -> "normal" | Full -> "full"
 
@@ -167,19 +374,81 @@ let run () =
         ])
     rows;
   Table.print t;
+  let orows = overhead_rows () in
+  let ot =
+    Table.create
+      ~caption:
+        (Printf.sprintf
+           "instrumentation overhead: enabled metrics probe vs no-op (k=%d)"
+           overhead_k)
+      [
+        ("family", Table.Left); ("algo", Table.Left);
+        ("plain r/s", Table.Right); ("probed r/s", Table.Right);
+        ("overhead", Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      let rps (s : sample) =
+        float_of_int s.s_rounds /. Float.max 1e-9 s.s_wall
+      in
+      Table.add_row ot
+        [
+          r.o_family; r.o_algo;
+          Table.ffloat ~decimals:0 (rps r.o_plain);
+          Table.ffloat ~decimals:0 (rps r.o_probed);
+          Printf.sprintf "%+.2f%%" (overhead_pct r);
+        ])
+    orows;
+  Table.print ot;
+  let max_ov =
+    List.fold_left (fun acc r -> Float.max acc (overhead_pct r)) neg_infinity
+      orows
+  in
+  Printf.printf "max probe overhead: %+.2f%% (target <= 2%%)\n" max_ov;
+  if !profile then begin
+    let pt =
+      Table.create
+        ~caption:"--profile: per-phase wall share of the probed runs"
+        [
+          ("family", Table.Left); ("algo", Table.Left);
+          ("select", Table.Right); ("apply", Table.Right);
+          ("finished", Table.Right); ("reanchors", Table.Right);
+        ]
+    in
+    List.iter
+      (fun r ->
+        let sel, app, fin, rean = profile_row r in
+        Table.add_row pt
+          [
+            r.o_family; r.o_algo;
+            Printf.sprintf "%.1f%%" sel; Printf.sprintf "%.1f%%" app;
+            Printf.sprintf "%.1f%%" fin; Table.fint rean;
+          ])
+      orows;
+    Table.print pt
+  end;
   Engine_report.write ~path:report_path
     (Engine_report.Obj
-       [
-         ("label", Engine_report.String "E16 hot-path throughput");
-         ("scale", Engine_report.String (scale_name ()));
-         ("configs", Engine_report.List (List.map json_of_row rows));
-       ]);
+       (Engine_report.meta ~seed ~workers:1
+       @ [
+           ("label", Engine_report.String "E16 hot-path throughput");
+           ("scale", Engine_report.String (scale_name ()));
+           ("configs", Engine_report.List (List.map json_of_row rows));
+           ( "probe_overhead",
+             Engine_report.List (List.map json_of_overhead orows) );
+           ("max_probe_overhead_pct", Engine_report.Float max_ov);
+         ]));
   Printf.printf "report written to %s\n" report_path
 
 (* CI tripwire for --smoke: a tiny instance must explore, produce a
    positive throughput, and two measurements of the same config must
    report identical rounds (the measurement harness itself must not
-   perturb the deterministic round loop). *)
+   perturb the deterministic round loop). The probed variant must agree
+   move-for-move with the plain one, its counters must match the
+   runner's own totals, and its cost must stay within a loose factor —
+   at this instance size wall times are noisy, so the precise <= 2%
+   claim is checked by [run] at the default scale, not here. *)
 let smoke () =
   let tree =
     Tree_gen.of_family "comb" ~rng:(Rng.create seed) ~n:300 ~depth_hint:15
@@ -187,5 +456,21 @@ let smoke () =
   let a = measure ~min_total:0.0 ~min_reps:1 ~max_reps:1 tree 8 "bfdn" in
   let b = measure ~min_total:0.0 ~min_reps:1 ~max_reps:1 tree 8 "bfdn" in
   let c = measure ~min_total:0.0 ~min_reps:1 ~max_reps:1 tree 8 "cte" in
+  let reg = Metrics.create () in
+  let p =
+    measure ~probe:(Probe.of_metrics reg) ~min_total:0.0 ~min_reps:1
+      ~max_reps:1 tree 8 "bfdn"
+  in
+  let cval name =
+    match Metrics.find_counter reg name with
+    | Some cnt -> Metrics.value cnt
+    | None -> -1
+  in
+  let counters_ok =
+    cval "rounds" = p.s_rounds && cval "edge_events" = p.s_events
+  in
+  let overhead_ok = p.s_wall <= (3.0 *. a.s_wall) +. 0.01 in
   a.s_rounds > 0 && a.s_rounds = b.s_rounds && a.s_events = b.s_events
   && c.s_rounds > 0 && a.s_wall > 0.0
+  && p.s_rounds = a.s_rounds && p.s_events = a.s_events
+  && counters_ok && overhead_ok

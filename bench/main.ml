@@ -4,7 +4,7 @@
    EXPERIMENTS.md for the index.
 
    Usage: dune exec bench/main.exe -- [--quick|--full] [--no-micro]
-          [--only E1,E3,...] [--jobs=N] [--smoke] *)
+          [--only E1,E3,...] [--jobs=N] [--profile] [--smoke] *)
 
 let experiments =
   [
@@ -37,6 +37,7 @@ let () =
       | "--quick" -> Bench_common.scale := Bench_common.Quick
       | "--full" -> Bench_common.scale := Bench_common.Full
       | "--no-micro" -> micro := false
+      | "--profile" -> Bench_common.profile := true
       | "--smoke" -> smoke := true
       | _ when String.length arg > 7 && String.sub arg 0 7 = "--only=" ->
           only :=
@@ -56,7 +57,7 @@ let () =
           Printf.eprintf
             "unknown argument %s\n\
              usage: main.exe [--quick|--full] [--no-micro] [--only=E1,E2,...]\n\
-            \       [--jobs=N] [--smoke]\n"
+            \       [--jobs=N] [--profile] [--smoke]\n"
             arg;
           exit 2)
     args;

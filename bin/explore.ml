@@ -11,10 +11,14 @@ open Cmdliner
 module Tree_gen = Bfdn_trees.Tree_gen
 module Env = Bfdn_sim.Env
 module Runner = Bfdn_sim.Runner
+module Trace = Bfdn_sim.Trace
 module Rng = Bfdn_util.Rng
 module Job = Bfdn_engine.Job
 module Batch = Bfdn_engine.Batch
 module Report = Bfdn_engine.Report
+module Metrics = Bfdn_obs.Metrics
+module Probe = Bfdn_obs.Probe
+module Sink = Bfdn_obs.Sink
 
 (* ---- shared arguments ---- *)
 
@@ -50,7 +54,23 @@ let run_cmd =
   in
   let ell = Arg.(value & opt int 2 & info [ "ell" ] ~docv:"L" ~doc:"Recursion level for bfdn-rec.") in
   let trace =
-    Arg.(value & flag & info [ "trace" ] ~doc:"Print the discovered tree after every round (small trees only).")
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE.jsonl"
+          ~doc:"Stream one JSON frame per round (round, explored, dangling, positions) to $(docv).")
+  in
+  let watch =
+    Arg.(value & flag & info [ "watch" ] ~doc:"Print the discovered tree after every round (small trees only).")
+  in
+  let metrics =
+    Arg.(
+      value
+      & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Attach the standard probes (round counters, phase timing, anchor \
+             switches) and print a metrics dashboard after the run.")
   in
   let tree_file =
     Arg.(
@@ -65,7 +85,8 @@ let run_cmd =
       & opt (some string) None
       & info [ "dump-tree" ] ~docv:"FILE" ~doc:"Write the instance to a file for later replay.")
   in
-  let action family algo_name n depth k ell seed trace tree_file dump_tree =
+  let action family algo_name n depth k ell seed trace watch metrics tree_file
+      dump_tree =
     let rng = Rng.create seed in
     let tree =
       match tree_file with
@@ -84,25 +105,39 @@ let run_cmd =
         close_out oc;
         Printf.printf "instance written to %s\n" file
     | None -> ());
-    let env = Env.create tree ~k in
+    let registry = if metrics then Some (Metrics.create ()) else None in
+    let probe =
+      match registry with Some m -> Probe.of_metrics m | None -> Probe.noop
+    in
+    let env = Env.create ~probe tree ~k in
     let algo =
       match algo_name with
-      | "bfdn" -> Bfdn.Bfdn_algo.algo (Bfdn.Bfdn_algo.make env)
+      | "bfdn" -> Bfdn.Bfdn_algo.algo (Bfdn.Bfdn_algo.make ~probe env)
       | "bfdn-wr" -> Bfdn.Bfdn_planner.algo (Bfdn.Bfdn_planner.make env)
       | "bfdn-rec" -> Bfdn.Bfdn_rec.algo (Bfdn.Bfdn_rec.make ~ell env)
-      | "cte" -> Bfdn_baselines.Cte.make env
+      | "cte" -> Bfdn_baselines.Cte.make ~probe env
       | "dfs" -> Bfdn_baselines.Dfs_single.make env
       | "offline" -> Bfdn_baselines.Offline_split.make env
       | "random-walk" -> Bfdn_baselines.Random_walk.make ~rng env
       | _ -> assert false
     in
+    let trace_oc = Option.map open_out trace in
     let on_round env =
-      if trace then begin
+      (match trace_oc with
+      | Some oc ->
+          Sink.write_jsonl oc (Trace.json_of_frame (Trace.frame_of_env env))
+      | None -> ());
+      if watch then begin
         print_newline ();
-        print_string (Bfdn_sim.Trace.render_frame env)
+        print_string (Trace.render_frame env)
       end
     in
-    let result = Runner.run ~on_round algo env in
+    let result = Runner.run ~on_round ~probe algo env in
+    (match (trace_oc, trace) with
+    | Some oc, Some path ->
+        close_out oc;
+        Printf.printf "trace written to %s (%d frames)\n" path result.rounds
+    | _ -> ());
     let nn = Env.oracle_n env and d = Env.oracle_depth env in
     let delta = Env.oracle_max_degree env in
     Printf.printf "tree: n=%d D=%d Δ=%d (family %s, seed %d)\n" nn d delta family seed;
@@ -110,12 +145,15 @@ let run_cmd =
     Printf.printf "offline lower bound : %.0f\n" (Bfdn.Bounds.offline_lb ~n:nn ~k ~d);
     Printf.printf "Theorem 1 guarantee : %.0f\n" (Bfdn.Bounds.bfdn ~n:nn ~k ~d ~delta);
     Printf.printf "CTE comparison bound: %.0f\n" (Bfdn.Bounds.cte ~n:nn ~k ~d);
+    (match registry with
+    | Some m -> print_string (Sink.dashboard ~title:(algo_name ^ " metrics") m)
+    | None -> ());
     if result.hit_round_limit then exit 1
   in
   let term =
     Term.(
       const action $ family $ algo_name $ n $ depth $ k_arg $ ell $ seed_arg
-      $ trace $ tree_file $ dump_tree)
+      $ trace $ watch $ metrics $ tree_file $ dump_tree)
   in
   Cmd.v (Cmd.info "run" ~doc:"Explore a generated tree with a chosen algorithm.") term
 
@@ -164,7 +202,16 @@ let sweep_cmd =
       & info [ "out" ] ~docv:"FILE"
           ~doc:"Write the machine-readable report here (pass an empty string to skip).")
   in
-  let action families algos ks jobs n depth repeats seed out =
+  let metrics_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Record per-worker queue-wait and job-latency histograms and print \
+             them (plus the merged aggregate) after the sweep.")
+  in
+  let action families algos ks jobs n depth repeats seed out metrics =
     let split_csv s = String.split_on_char ',' s |> List.map String.trim in
     let ks =
       List.map
@@ -191,9 +238,18 @@ let sweep_cmd =
     let total = List.length specs in
     Printf.eprintf "sweep: %d jobs on %d worker(s) (%d core(s))\n%!" total jobs
       (Domain.recommended_domain_count ());
+    (* One registry per worker: each worker domain records its own
+       latency histograms without locking; merged after the drain. *)
+    let worker_regs =
+      if metrics then Array.init (max 1 jobs) (fun _ -> Metrics.create ())
+      else [||]
+    in
+    let probe =
+      if metrics then Probe.pool_probe worker_regs else Probe.noop
+    in
     let t0 = Batch.now () in
     let results =
-      Batch.run ~workers:jobs
+      Batch.run ~probe ~workers:jobs
         ~progress:(fun ~completed ~total ->
           if completed mod 10 = 0 || completed = total then
             Printf.eprintf "\r  %d/%d%!" completed total)
@@ -265,10 +321,23 @@ let sweep_cmd =
       agg.jobs agg.errors wall
       (float_of_int agg.jobs /. Float.max 1e-9 wall)
       jobs;
+    if metrics then begin
+      let merged = Metrics.create () in
+      Array.iteri
+        (fun w reg ->
+          Metrics.merge_into ~into:merged reg;
+          match Metrics.find_histogram reg "job_s" with
+          | Some h when Metrics.hist_count h > 0 ->
+              Printf.printf "%s\n"
+                (Sink.dashboard ~title:(Printf.sprintf "worker %d" w) reg)
+          | _ -> ())
+        worker_regs;
+      Printf.printf "%s\n" (Sink.dashboard ~title:"sweep metrics (merged)" merged)
+    end;
     (match out with
     | Some path when path <> "" ->
         Report.write ~path
-          (Report.of_sweep ~label:"bfdn-explore sweep" ~workers:jobs ~wall
+          (Report.of_sweep ~label:"bfdn-explore sweep" ~workers:jobs ~seed ~wall
              results);
         Printf.printf "report written to %s\n" path
     | _ -> ());
@@ -277,7 +346,7 @@ let sweep_cmd =
   let term =
     Term.(
       const action $ families_arg $ algos_arg $ ks_arg $ jobs_arg $ n $ depth
-      $ repeats $ seed_arg $ out)
+      $ repeats $ seed_arg $ out $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "sweep"

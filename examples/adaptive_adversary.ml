@@ -33,7 +33,7 @@ let duel name make_adv =
         r2.rounds (r2.rounds = r.rounds))
     [
       ("bfdn", fun env -> Bfdn.Bfdn_algo.algo (Bfdn.Bfdn_algo.make env));
-      ("cte", Bfdn_baselines.Cte.make);
+      ("cte", fun env -> Bfdn_baselines.Cte.make env);
     ]
 
 let () =

@@ -19,6 +19,7 @@ type t = {
   env : Env.t;
   policy : policy;
   shortcut : bool;
+  probe : Bfdn_obs.Probe.t; (* anchor-switch and idle-robot hooks *)
   robots : rstate array;
   anchor_load : int array;
   (* Cursor over the ports of each node: everything before it is known to
@@ -28,6 +29,7 @@ type t = {
   dangle_cursor : int array;
   reanchor_counts : int array; (* indexed by anchor depth *)
   mutable reanchors_total : int;
+  mutable summary_sent : bool; (* probe reanchor summary fired once *)
   (* Round-local count of dangling edges selected by earlier robots at
      each node, stamped per select call. It replaces a set of (node, port)
      pairs: the ports selected at a node within one round are always the
@@ -43,13 +45,15 @@ type t = {
   mutable via : Env.move array;
 }
 
-let make ?(policy = Least_loaded) ?(shortcut = false) env =
+let make ?(policy = Least_loaded) ?(shortcut = false)
+    ?(probe = Bfdn_obs.Probe.noop) env =
   let n = Env.capacity env in
   let root = Partial_tree.root (Env.view env) in
   {
     env;
     policy;
     shortcut;
+    probe;
     robots =
       Array.init (Env.k env) (fun _ ->
           { anchor = root; route = Array.make 8 0; route_pos = 0; route_len = 0 });
@@ -60,6 +64,7 @@ let make ?(policy = Least_loaded) ?(shortcut = false) env =
     dangle_cursor = Array.make n 0;
     reanchor_counts = Array.make (Env.capacity env + 2) 0;
     reanchors_total = 0;
+    summary_sent = false;
     sel_stamp = Array.make n (-1);
     sel_cnt = Array.make n 0;
     sel_epoch = 0;
@@ -174,7 +179,13 @@ let reanchor t i =
   fill_route view r pos v;
   let d = Partial_tree.depth_of view v in
   t.reanchor_counts.(d) <- t.reanchor_counts.(d) + 1;
-  t.reanchors_total <- t.reanchors_total + 1
+  t.reanchors_total <- t.reanchors_total + 1;
+  (* Per-event hook only under [events]: a trap instance reanchors ~100
+     robots per round at k = 512, so even no-op calls here would break
+     the aggregate probe's overhead budget. Aggregate consumers get the
+     counts from the end-of-run summary instead. *)
+  if t.probe.Bfdn_obs.Probe.events then
+    t.probe.Bfdn_obs.Probe.on_reanchor ~robot:i ~depth:d ~route_len:r.route_len
 
 (* Pop the next breadth-first move off the robot's route. *)
 let pop_route t r =
@@ -216,13 +227,42 @@ let select t =
       end
     end
   done;
+  (* The O(k) idle scan is per-event instrumentation ([events] only):
+     aggregate consumers get the idle count for free from Env.apply's
+     on_round. Pattern match, not [=]: polymorphic equality on the move
+     variant would cost a caml_compare call per robot. *)
+  if t.probe.Bfdn_obs.Probe.events then begin
+    let idle = ref 0 in
+    for i = 0 to k - 1 do
+      match moves.(i) with Env.Stay -> incr idle | _ -> ()
+    done;
+    t.probe.Bfdn_obs.Probe.on_select ~idle:!idle
+  end;
   moves
+
+(* Fired once, the first time [finished] holds: hand the probe the
+   reanchor statistics accumulated (at zero marginal cost) during the
+   run. The copy is trimmed to the depths actually used. *)
+let send_summary t =
+  t.summary_sent <- true;
+  let counts = t.reanchor_counts in
+  let hi = ref (Array.length counts - 1) in
+  while !hi >= 0 && counts.(!hi) = 0 do
+    decr hi
+  done;
+  t.probe.Bfdn_obs.Probe.on_reanchor_summary ~total:t.reanchors_total
+    ~by_depth:(Array.sub counts 0 (!hi + 1))
 
 let algo t =
   {
     Runner.name = "bfdn";
     select = (fun _ -> select t);
-    finished = (fun env -> Env.fully_explored env && Env.all_at_root env);
+    finished =
+      (fun env ->
+        let fin = Env.fully_explored env && Env.all_at_root env in
+        if fin && t.probe.Bfdn_obs.Probe.enabled && not t.summary_sent then
+          send_summary t;
+        fin);
   }
 
 let anchors t = Array.map (fun r -> r.anchor) t.robots

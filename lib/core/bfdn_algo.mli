@@ -26,8 +26,13 @@ type policy =
   | First_open  (** smallest id among minimum-depth open nodes *)
   | Random_open of Bfdn_util.Rng.t  (** uniform among minimum-depth open nodes *)
 
-val make : ?policy:policy -> ?shortcut:bool -> Bfdn_sim.Env.t -> t
-(** [shortcut] (default [false]) enables the ablation variant that
+val make :
+  ?policy:policy -> ?shortcut:bool -> ?probe:Bfdn_obs.Probe.t -> Bfdn_sim.Env.t -> t
+(** [probe] (default {!Bfdn_obs.Probe.noop}) receives [on_reanchor] at
+    every anchor switch (with the anchor's depth and the breadth-first
+    route length) and [on_select ~idle] after every selection round.
+
+    [shortcut] (default [false]) enables the ablation variant that
     re-anchors a robot the moment its depth-next excursion stalls, routing
     it through the lowest common ancestor instead of the root. The paper
     deliberately keeps the walk home — it is what makes the write-read

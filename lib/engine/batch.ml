@@ -1,8 +1,11 @@
 module Stats = Bfdn_util.Stats
+module Clock = Bfdn_util.Clock
+module Probe = Bfdn_obs.Probe
 
 let now () = Unix.gettimeofday ()
 
-let map ?workers ?(progress = fun ~completed:_ ~total:_ -> ())
+let map ?(probe = Probe.noop) ?workers
+    ?(progress = fun ~completed:_ ~total:_ -> ())
     ?(on_pool_stats = fun _ -> ()) f xs =
   let total = Array.length xs in
   let results = Array.make total (Error "not executed") in
@@ -17,11 +20,19 @@ let map ?workers ?(progress = fun ~completed:_ ~total:_ -> ())
   if w <= 1 || total <= 1 then
     Array.iteri
       (fun i _ ->
-        run_one i;
+        (* Inline baseline: everything runs as "worker 0" with no queue,
+           so the wait component is identically zero. *)
+        if probe.Probe.enabled then begin
+          let t0 = Clock.now_ns () in
+          run_one i;
+          let t1 = Clock.now_ns () in
+          probe.Probe.on_job ~worker:0 ~wait_ns:0 ~run_ns:(t1 - t0)
+        end
+        else run_one i;
         progress ~completed:(i + 1) ~total)
       xs
   else begin
-    let pool = Pool.create ~workers:w () in
+    let pool = Pool.create ~probe ~workers:w () in
     let completed = Atomic.make 0 in
     let progress_mutex = Mutex.create () in
     Array.iteri
@@ -40,9 +51,9 @@ let map ?workers ?(progress = fun ~completed:_ ~total:_ -> ())
   end;
   results
 
-let run ?workers ?progress ?on_pool_stats jobs =
+let run ?probe ?workers ?progress ?on_pool_stats jobs =
   let arr = Array.of_list jobs in
-  let res = map ?workers ?progress ?on_pool_stats Job.run arr in
+  let res = map ?probe ?workers ?progress ?on_pool_stats Job.run arr in
   List.mapi (fun i j -> (j, res.(i))) jobs
 
 type agg = {

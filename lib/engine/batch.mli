@@ -9,6 +9,7 @@
     [test/test_engine.ml]) verifies job-for-job. *)
 
 val map :
+  ?probe:Bfdn_obs.Probe.t ->
   ?workers:int ->
   ?progress:(completed:int -> total:int -> unit) ->
   ?on_pool_stats:(int array -> unit) ->
@@ -24,9 +25,16 @@ val map :
     [progress] is called after each completion with a monotonically
     increasing [completed] (serialized, possibly from worker domains: it
     must not touch the pool). [on_pool_stats] receives the per-worker
-    task counts after the pool drains. *)
+    task counts after the pool drains.
+
+    [probe] (default {!Bfdn_obs.Probe.noop}) is handed to the pool for
+    per-job queue-wait/latency reporting (see {!Pool.create}); on the
+    inline [workers <= 1] path every element reports as worker [0] with
+    zero wait. The probe observes timing only — results and their order
+    are identical with or without it. *)
 
 val run :
+  ?probe:Bfdn_obs.Probe.t ->
   ?workers:int ->
   ?progress:(completed:int -> total:int -> unit) ->
   ?on_pool_stats:(int array -> unit) ->

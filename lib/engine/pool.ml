@@ -1,12 +1,16 @@
+module Clock = Bfdn_util.Clock
+module Probe = Bfdn_obs.Probe
+
 type t = {
   n_workers : int;
-  queue : (unit -> unit) Queue.t;
+  queue : (int * (unit -> unit)) Queue.t; (* (submit timestamp ns, task) *)
   mutex : Mutex.t;
   nonempty : Condition.t;
   idle : Condition.t;
   mutable pending : int;  (* submitted, not yet finished *)
   mutable stopped : bool;
   counts : int array;
+  probe : Probe.t;
   mutable domains : unit Domain.t list;
 }
 
@@ -18,11 +22,20 @@ let worker t i () =
     done;
     if Queue.is_empty t.queue then Mutex.unlock t.mutex (* stopped: exit *)
     else begin
-      let task = Queue.pop t.queue in
+      let submitted_ns, task = Queue.pop t.queue in
       Mutex.unlock t.mutex;
       (* Contain failures here so a raising task cannot kill the worker;
          result-level error reporting is layered on top (see Batch). *)
-      (try task () with _ -> ());
+      if t.probe.Probe.enabled then begin
+        let t0 = Clock.now_ns () in
+        (try task () with _ -> ());
+        let t1 = Clock.now_ns () in
+        (* on_job runs on this worker domain: the probe contract requires
+           domain-safe hooks (per-worker sinks). *)
+        t.probe.Probe.on_job ~worker:i ~wait_ns:(t0 - submitted_ns)
+          ~run_ns:(t1 - t0)
+      end
+      else (try task () with _ -> ());
       Mutex.lock t.mutex;
       t.counts.(i) <- t.counts.(i) + 1;
       t.pending <- t.pending - 1;
@@ -33,7 +46,7 @@ let worker t i () =
   in
   loop ()
 
-let create ?workers () =
+let create ?(probe = Probe.noop) ?workers () =
   let n_workers =
     match workers with
     | Some w -> max 1 w
@@ -49,6 +62,7 @@ let create ?workers () =
       pending = 0;
       stopped = false;
       counts = Array.make n_workers 0;
+      probe;
       domains = [];
     }
   in
@@ -58,13 +72,14 @@ let create ?workers () =
 let workers t = t.n_workers
 
 let submit t f =
+  let submitted_ns = if t.probe.Probe.enabled then Clock.now_ns () else 0 in
   Mutex.lock t.mutex;
   if t.stopped then begin
     Mutex.unlock t.mutex;
     invalid_arg "Pool.submit: pool is shut down"
   end;
   t.pending <- t.pending + 1;
-  Queue.push f t.queue;
+  Queue.push (submitted_ns, f) t.queue;
   Condition.signal t.nonempty;
   Mutex.unlock t.mutex
 

@@ -12,11 +12,17 @@
 
 type t
 
-val create : ?workers:int -> unit -> t
+val create : ?probe:Bfdn_obs.Probe.t -> ?workers:int -> unit -> t
 (** Spawn the worker domains. [workers] defaults to
     [Domain.recommended_domain_count ()] and is clamped to at least 1.
     Worker counts above the core count are legal (useful for determinism
-    tests); they just time-share. *)
+    tests); they just time-share.
+
+    An enabled [probe] receives [on_job ~worker ~wait_ns ~run_ns] after
+    every task: queue wait (submit to dequeue) and execution time on the
+    monotonic clock. The hook fires {e on the worker domain}, so it must
+    be domain-safe — {!Bfdn_obs.Probe.pool_probe} writes to per-worker
+    registries for exactly this reason. *)
 
 val workers : t -> int
 (** Number of worker domains actually spawned. *)

@@ -1,4 +1,6 @@
-type json =
+module Json = Bfdn_obs.Json
+
+type json = Json.t =
   | Null
   | Bool of bool
   | Int of int
@@ -7,62 +9,25 @@ type json =
   | List of json list
   | Obj of (string * json) list
 
-let escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let rec emit buf = function
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float f ->
-      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
-      else Buffer.add_string buf "null"
-  | String s ->
-      Buffer.add_char buf '"';
-      Buffer.add_string buf (escape s);
-      Buffer.add_char buf '"'
-  | List xs ->
-      Buffer.add_char buf '[';
-      List.iteri
-        (fun i x ->
-          if i > 0 then Buffer.add_char buf ',';
-          emit buf x)
-        xs;
-      Buffer.add_char buf ']'
-  | Obj kvs ->
-      Buffer.add_char buf '{';
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_char buf ',';
-          emit buf (String k);
-          Buffer.add_char buf ':';
-          emit buf v)
-        kvs;
-      Buffer.add_char buf '}'
-
-let to_string j =
-  let buf = Buffer.create 256 in
-  emit buf j;
-  Buffer.contents buf
+let to_string = Json.to_string
 
 let write ~path j =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string j ^ "\n"))
+
+(* Bump when the shape of the BENCH_*.json bodies changes incompatibly,
+   so dashboards comparing perf trajectories across PRs can tell which
+   fields to expect. v1: pre-obs reports (no meta stamp). *)
+let schema_version = 2
+
+let meta ~seed ~workers =
+  [
+    ("schema_version", Int schema_version);
+    ("seed", Int seed);
+    ("workers", Int workers);
+  ]
 
 let of_summary (s : Bfdn_util.Stats.summary) =
   Obj
@@ -76,23 +41,25 @@ let of_summary (s : Bfdn_util.Stats.summary) =
       ("p95", Float s.p95);
     ]
 
-let of_sweep ~label ~workers ~wall ?sequential_wall results =
+let of_metrics = Bfdn_obs.Metrics.to_json
+
+let of_sweep ~label ~workers ~seed ~wall ?sequential_wall results =
   let agg = Batch.aggregate results in
   let jobs_per_sec = if wall > 0.0 then float_of_int agg.jobs /. wall else 0.0 in
   let base =
-    [
-      ("label", String label);
-      ("workers", Int workers);
-      ("cores", Int (Domain.recommended_domain_count ()));
-      ("jobs", Int agg.jobs);
-      ("errors", Int agg.errors);
-      ("explored", Int agg.explored);
-      ("total_rounds", Int agg.total_rounds);
-      ("wall_seconds", Float wall);
-      ("jobs_per_sec", Float jobs_per_sec);
-      ( "per_algo_rounds",
-        Obj (List.map (fun (a, s) -> (a, of_summary s)) agg.per_algo) );
-    ]
+    meta ~seed ~workers
+    @ [
+        ("label", String label);
+        ("cores", Int (Domain.recommended_domain_count ()));
+        ("jobs", Int agg.jobs);
+        ("errors", Int agg.errors);
+        ("explored", Int agg.explored);
+        ("total_rounds", Int agg.total_rounds);
+        ("wall_seconds", Float wall);
+        ("jobs_per_sec", Float jobs_per_sec);
+        ( "per_algo_rounds",
+          Obj (List.map (fun (a, s) -> (a, of_summary s)) agg.per_algo) );
+      ]
   in
   let speedup =
     match sequential_wall with

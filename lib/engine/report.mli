@@ -1,12 +1,17 @@
-(** Minimal JSON emitter for machine-readable sweep reports.
+(** Machine-readable sweep reports.
 
-    The repository has no JSON dependency, so this is a tiny writer (no
-    parser): enough to emit [BENCH_engine.json] — wall-time, throughput,
-    per-algorithm round distributions — for dashboards and CI trend
-    tracking. Non-finite floats are emitted as [null] to keep the output
-    standard JSON. *)
+    The JSON tree and emitter live in {!Bfdn_obs.Json} (shared with the
+    trace sinks); the type is re-exported here so report-building code
+    keeps writing [Report.Obj [...]]. Floats are emitted in
+    shortest-round-trip form — a BENCH_*.json value parses back to
+    exactly the double that was measured — and non-finite floats as
+    [null] to keep the output standard JSON.
 
-type json =
+    Every report body should start with {!meta}, which stamps the schema
+    version, the seed and the worker count so perf trajectories stay
+    comparable across PRs. *)
+
+type json = Bfdn_obs.Json.t =
   | Null
   | Bool of bool
   | Int of int
@@ -22,17 +27,29 @@ val write : path:string -> json -> unit
 (** [to_string] plus a trailing newline, written atomically-enough (single
     [output_string]) to [path]. *)
 
+val schema_version : int
+(** Current report schema: bumped on incompatible shape changes. *)
+
+val meta : seed:int -> workers:int -> (string * json) list
+(** The standard stamp: [schema_version], [seed], [workers]. Prepend to
+    every BENCH_*.json body. *)
+
 val of_summary : Bfdn_util.Stats.summary -> json
 (** Round-distribution summary as an object
     [{count, mean, stddev, min, max, p50, p95}]. *)
 
+val of_metrics : Bfdn_obs.Metrics.t -> json
+(** {!Bfdn_obs.Metrics.to_json}, re-exported for report builders. *)
+
 val of_sweep :
   label:string ->
   workers:int ->
+  seed:int ->
   wall:float ->
   ?sequential_wall:float ->
   (Job.t * (Job.outcome, string) result) list ->
   json
-(** Standard report body for one batch: label, worker/core counts,
-    wall-time, jobs/sec, error count, per-algo distributions, and — when
-    [sequential_wall] is given — the parallel-over-sequential speedup. *)
+(** Standard report body for one batch: the {!meta} stamp, label,
+    core count, wall-time, jobs/sec, error count, per-algo round
+    distributions, and — when [sequential_wall] is given — the
+    parallel-over-sequential speedup. *)

@@ -1,0 +1,27 @@
+(** Minimal JSON emitter (no parser) shared by the report and trace
+    sinks. Non-finite floats are emitted as [null] to keep the output
+    standard JSON; finite floats use a shortest-round-trip rendering, so
+    every value written to a BENCH_*.json or trace line parses back to
+    exactly the same double. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. *)
+
+val emit : Buffer.t -> t -> unit
+
+val float_to_string : float -> string
+(** Shortest decimal form [s] with [float_of_string s = f]: tries 15 and
+    16 significant digits before falling back to the always-exact 17.
+    Only called on finite floats. *)
+
+val escape : string -> string
+(** JSON string-body escaping (quotes not included). *)

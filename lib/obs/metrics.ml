@@ -1,0 +1,254 @@
+module Ascii = Bfdn_util.Ascii
+
+(* Float state lives in float arrays, not record fields: a float field in
+   a mixed record is boxed, so [h.sum <- h.sum +. v] would allocate on
+   every observation. [arr.(i) <- arr.(i) +. v] on a float array does
+   not, keeping the record paths allocation-free. *)
+
+type counter = { c_name : string; mutable c_value : int }
+
+type gauge = { g_name : string; g_cell : float array (* [| value |] *) }
+
+type histogram = {
+  h_name : string;
+  bounds : float array; (* inclusive upper bounds, strictly increasing *)
+  counts : int array; (* length bounds + 1; last = overflow bucket *)
+  mutable h_count : int;
+  h_stats : float array; (* [| sum; min; max |] *)
+}
+
+type item = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = {
+  tbl : (string, item) Hashtbl.t;
+  mutable rev_order : string list; (* registration order, reversed *)
+}
+
+let create () = { tbl = Hashtbl.create 16; rev_order = [] }
+
+let register t name make =
+  match Hashtbl.find_opt t.tbl name with
+  | Some item -> item
+  | None ->
+      let item = make () in
+      Hashtbl.add t.tbl name item;
+      t.rev_order <- name :: t.rev_order;
+      item
+
+let kind_error name want =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S is already registered as a different kind than %s"
+       name want)
+
+let counter t name =
+  match register t name (fun () -> Counter { c_name = name; c_value = 0 }) with
+  | Counter c -> c
+  | _ -> kind_error name "counter"
+
+let incr c = c.c_value <- c.c_value + 1
+let add c n = c.c_value <- c.c_value + n
+let value c = c.c_value
+
+let gauge t name =
+  match register t name (fun () -> Gauge { g_name = name; g_cell = [| 0.0 |] }) with
+  | Gauge g -> g
+  | _ -> kind_error name "gauge"
+
+let set g v = g.g_cell.(0) <- v
+let gauge_value g = g.g_cell.(0)
+
+(* Exponential ladders: wall-time observations in seconds (1µs .. ~2s),
+   and small nonnegative counts (0 .. 1024). *)
+let latency_bounds =
+  Array.init 22 (fun i -> 1e-6 *. (2.0 ** float_of_int i))
+
+let count_bounds =
+  Array.append [| 0.0 |] (Array.init 11 (fun i -> 2.0 ** float_of_int i))
+
+let check_bounds bounds =
+  if Array.length bounds = 0 then invalid_arg "Metrics.histogram: empty bounds";
+  for i = 1 to Array.length bounds - 1 do
+    if bounds.(i - 1) >= bounds.(i) then
+      invalid_arg "Metrics.histogram: bounds must be strictly increasing"
+  done
+
+let histogram ?(bounds = latency_bounds) t name =
+  check_bounds bounds;
+  let make () =
+    Histogram
+      {
+        h_name = name;
+        bounds = Array.copy bounds;
+        counts = Array.make (Array.length bounds + 1) 0;
+        h_count = 0;
+        h_stats = [| 0.0; infinity; neg_infinity |];
+      }
+  in
+  match register t name make with
+  | Histogram h ->
+      if h.bounds <> bounds then
+        invalid_arg
+          (Printf.sprintf "Metrics.histogram: %S re-registered with different bounds"
+             name);
+      h
+  | _ -> kind_error name "histogram"
+
+(* A value lands in the first bucket whose bound it does not exceed
+   ([v <= bounds.(i)]); anything above the last bound goes to the
+   overflow bucket. Linear scan: bucket ladders are ~20 entries and the
+   early buckets are the hot ones. *)
+let observe h v =
+  let n = Array.length h.bounds in
+  let i = ref 0 in
+  while !i < n && v > h.bounds.(!i) do
+    i := !i + 1
+  done;
+  h.counts.(!i) <- h.counts.(!i) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_stats.(0) <- h.h_stats.(0) +. v;
+  if v < h.h_stats.(1) then h.h_stats.(1) <- v;
+  if v > h.h_stats.(2) then h.h_stats.(2) <- v
+
+(* Int observations (depths, route lengths, idle counts) enter here with
+   the bucketing open-coded: the converted float is only compared against
+   float-array reads and accumulated into a float array, so it lives in a
+   register for the whole body — whereas [observe h (float_of_int v)]
+   would box it at the call boundary on every hot-path observation. *)
+let observe_int h v =
+  let vf = float_of_int v in
+  let n = Array.length h.bounds in
+  let i = ref 0 in
+  while !i < n && vf > h.bounds.(!i) do
+    i := !i + 1
+  done;
+  h.counts.(!i) <- h.counts.(!i) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_stats.(0) <- h.h_stats.(0) +. vf;
+  if vf < h.h_stats.(1) then h.h_stats.(1) <- vf;
+  if vf > h.h_stats.(2) then h.h_stats.(2) <- vf
+
+(* Bulk observation: [n] occurrences of the int value [v] in one shot —
+   what the end-of-run reanchor summary needs to turn per-depth counts
+   into a histogram without having paid per-event cost during the run. *)
+let observe_int_n h v n =
+  if n > 0 then begin
+    let vf = float_of_int v in
+    let nb = Array.length h.bounds in
+    let i = ref 0 in
+    while !i < nb && vf > h.bounds.(!i) do
+      i := !i + 1
+    done;
+    h.counts.(!i) <- h.counts.(!i) + n;
+    h.h_count <- h.h_count + n;
+    h.h_stats.(0) <- h.h_stats.(0) +. (vf *. float_of_int n);
+    if vf < h.h_stats.(1) then h.h_stats.(1) <- vf;
+    if vf > h.h_stats.(2) then h.h_stats.(2) <- vf
+  end
+
+let hist_count h = h.h_count
+let hist_sum h = h.h_stats.(0)
+let hist_min h = if h.h_count = 0 then 0.0 else h.h_stats.(1)
+let hist_max h = if h.h_count = 0 then 0.0 else h.h_stats.(2)
+let num_buckets h = Array.length h.counts
+let bucket_count h i = h.counts.(i)
+
+let bucket_le h i =
+  if i >= Array.length h.bounds then infinity else h.bounds.(i)
+
+let find t name = Hashtbl.find_opt t.tbl name
+
+let find_counter t name =
+  match find t name with Some (Counter c) -> Some c | _ -> None
+
+let find_histogram t name =
+  match find t name with Some (Histogram h) -> Some h | _ -> None
+
+let names t = List.rev t.rev_order
+
+(* Accumulate [src] into [into] by name: counters and histogram buckets
+   add, gauges take the source's last value. Registers anything missing,
+   so folding per-worker registries into a fresh one just works.
+   @raise Invalid_argument on a name/kind or bucket-bounds mismatch. *)
+let merge_into ~into src =
+  List.iter
+    (fun name ->
+      match Hashtbl.find src.tbl name with
+      | Counter c -> add (counter into name) c.c_value
+      | Gauge g -> set (gauge into name) g.g_cell.(0)
+      | Histogram h ->
+          let h' = histogram ~bounds:h.bounds into name in
+          Array.iteri (fun i c -> h'.counts.(i) <- h'.counts.(i) + c) h.counts;
+          h'.h_count <- h'.h_count + h.h_count;
+          h'.h_stats.(0) <- h'.h_stats.(0) +. h.h_stats.(0);
+          if h.h_count > 0 then begin
+            if h.h_stats.(1) < h'.h_stats.(1) then h'.h_stats.(1) <- h.h_stats.(1);
+            if h.h_stats.(2) > h'.h_stats.(2) then h'.h_stats.(2) <- h.h_stats.(2)
+          end)
+    (names src)
+
+let json_of_histogram h =
+  let buckets =
+    List.init (num_buckets h) (fun i ->
+        Json.Obj
+          [
+            ( "le",
+              if i >= Array.length h.bounds then Json.String "+inf"
+              else Json.Float h.bounds.(i) );
+            ("count", Json.Int h.counts.(i));
+          ])
+  in
+  Json.Obj
+    [
+      ("count", Json.Int h.h_count);
+      ("sum", Json.Float (hist_sum h));
+      ("min", Json.Float (hist_min h));
+      ("max", Json.Float (hist_max h));
+      ("buckets", Json.List buckets);
+    ]
+
+let to_json t =
+  Json.Obj
+    (List.map
+       (fun name ->
+         match Hashtbl.find t.tbl name with
+         | Counter c -> (name, Json.Int c.c_value)
+         | Gauge g -> (name, Json.Float g.g_cell.(0))
+         | Histogram h -> (name, json_of_histogram h))
+       (names t))
+
+let label_of_le le =
+  if le = infinity then "+inf" else Printf.sprintf "<=%.3g" le
+
+let render t =
+  let buf = Buffer.create 512 in
+  let scalars =
+    List.filter_map
+      (fun name ->
+        match Hashtbl.find t.tbl name with
+        | Counter c -> Some (name, float_of_int c.c_value)
+        | Gauge g -> Some (name, g.g_cell.(0))
+        | Histogram _ -> None)
+      (names t)
+  in
+  if scalars <> [] then begin
+    Buffer.add_string buf "counters/gauges:\n";
+    Buffer.add_string buf (Ascii.bar_chart scalars)
+  end;
+  List.iter
+    (fun name ->
+      match Hashtbl.find t.tbl name with
+      | Histogram h when h.h_count > 0 ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s: count=%d sum=%.6g min=%.3g max=%.3g mean=%.3g\n"
+               name h.h_count (hist_sum h) (hist_min h) (hist_max h)
+               (hist_sum h /. float_of_int h.h_count));
+          let nonzero =
+            List.filter
+              (fun (_, v) -> v > 0.0)
+              (List.init (num_buckets h) (fun i ->
+                   (label_of_le (bucket_le h i), float_of_int h.counts.(i))))
+          in
+          Buffer.add_string buf (Ascii.bar_chart nonzero)
+      | _ -> ())
+    (names t);
+  Buffer.contents buf

@@ -1,0 +1,93 @@
+(** Registry of named counters, gauges and histograms.
+
+    Handles are looked up (or created) once, by name, at instrumentation
+    setup; the record paths ({!incr}, {!add}, {!set}, {!observe}) are
+    O(1) and allocation-free, so probes can fire every round of the hot
+    loop. A registry is single-domain: under the parallel engine each
+    worker records into its own registry and the results are folded with
+    {!merge_into} after the pool drains. *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** {2 Counters} *)
+
+val counter : t -> string -> counter
+(** Find or register. @raise Invalid_argument if [name] holds a
+    different metric kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+(** {2 Gauges} *)
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {2 Histograms} *)
+
+val histogram : ?bounds:float array -> t -> string -> histogram
+(** Find or register with the given inclusive upper-bucket bounds
+    (strictly increasing; an overflow bucket is added past the last).
+    Defaults to {!latency_bounds}.
+    @raise Invalid_argument on a kind or bounds mismatch with an
+    existing registration. *)
+
+val observe : histogram -> float -> unit
+(** Record one value: the first bucket [i] with [v <= bounds.(i)], or
+    the overflow bucket. *)
+
+val observe_int : histogram -> int -> unit
+(** [observe h (float_of_int v)] without boxing a float at the call
+    site — use for count-valued observations on hot paths. *)
+
+val observe_int_n : histogram -> int -> int -> unit
+(** [observe_int_n h v n] records [n] occurrences of [v] at once (no-op
+    for [n <= 0]) — for folding pre-aggregated counts into a histogram. *)
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val hist_min : histogram -> float
+val hist_max : histogram -> float
+
+val num_buckets : histogram -> int
+(** Number of buckets including the overflow bucket. *)
+
+val bucket_count : histogram -> int -> int
+val bucket_le : histogram -> int -> float
+(** Upper bound of bucket [i]; [infinity] for the overflow bucket. *)
+
+val latency_bounds : float array
+(** Exponential ladder for wall-time seconds: 1µs doubling up to ~2s. *)
+
+val count_bounds : float array
+(** Ladder for small nonnegative counts: 0, 1, 2, 4, ... 1024. *)
+
+(** {2 Aggregation and export} *)
+
+val merge_into : into:t -> t -> unit
+(** Accumulate a registry into another by name: counters and histogram
+    buckets add, gauges take the source value. Missing metrics are
+    registered, so per-worker registries fold into a fresh aggregate.
+    @raise Invalid_argument on kind or histogram-bounds mismatch. *)
+
+val find_counter : t -> string -> counter option
+val find_histogram : t -> string -> histogram option
+
+val names : t -> string list
+(** Registration order. *)
+
+val to_json : t -> Json.t
+(** Object keyed by metric name; histograms expand to
+    [{count, sum, min, max, buckets: [{le, count}]}]. *)
+
+val render : t -> string
+(** ASCII dashboard: bar chart of counters/gauges, then one summary line
+    plus bucket bars per non-empty histogram. *)

@@ -1,0 +1,54 @@
+module Ring = struct
+  type 'a t = {
+    buf : 'a option array;
+    mutable head : int; (* next write slot *)
+    mutable pushed : int; (* total ever pushed *)
+  }
+
+  let create capacity =
+    if capacity < 1 then invalid_arg "Sink.Ring.create: capacity must be >= 1";
+    { buf = Array.make capacity None; head = 0; pushed = 0 }
+
+  let capacity t = Array.length t.buf
+
+  let push t x =
+    t.buf.(t.head) <- Some x;
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    t.pushed <- t.pushed + 1
+
+  let length t = min t.pushed (Array.length t.buf)
+
+  let pushed t = t.pushed
+
+  let dropped t = t.pushed - length t
+
+  (* Oldest retained element first. *)
+  let iter f t =
+    let cap = Array.length t.buf in
+    let n = length t in
+    let start = (t.head - n + cap) mod cap in
+    for i = 0 to n - 1 do
+      match t.buf.((start + i) mod cap) with
+      | Some x -> f x
+      | None -> assert false
+    done
+
+  let to_list t =
+    let acc = ref [] in
+    iter (fun x -> acc := x :: !acc) t;
+    List.rev !acc
+
+  let clear t =
+    Array.fill t.buf 0 (Array.length t.buf) None;
+    t.head <- 0;
+    t.pushed <- 0
+end
+
+let write_jsonl oc j =
+  output_string oc (Json.to_string j);
+  output_char oc '\n'
+
+let dashboard ?(title = "metrics") m =
+  let body = Metrics.render m in
+  let rule = String.make (max 8 (String.length title + 8)) '-' in
+  Printf.sprintf "%s\n-- %s --\n%s%s\n" rule title body rule

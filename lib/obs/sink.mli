@@ -1,0 +1,41 @@
+(** Where observations go: a bounded ring recorder, JSONL streaming and
+    an ASCII dashboard. *)
+
+(** Bounded ring buffer: pushing past capacity overwrites the oldest
+    element. Backs {!Bfdn_sim.Trace} so long runs record in O(capacity)
+    memory instead of an unbounded list. *)
+module Ring : sig
+  type 'a t
+
+  val create : int -> 'a t
+  (** @raise Invalid_argument when capacity < 1. *)
+
+  val capacity : 'a t -> int
+
+  val push : 'a t -> 'a -> unit
+
+  val length : 'a t -> int
+  (** Elements currently retained ([min pushed capacity]). *)
+
+  val pushed : 'a t -> int
+  (** Total elements ever pushed. *)
+
+  val dropped : 'a t -> int
+  (** [pushed - length]: elements overwritten so far. *)
+
+  val iter : ('a -> unit) -> 'a t -> unit
+  (** Oldest retained element first. *)
+
+  val to_list : 'a t -> 'a list
+  (** Oldest retained element first. *)
+
+  val clear : 'a t -> unit
+end
+
+val write_jsonl : out_channel -> Json.t -> unit
+(** One compact JSON value plus a newline — the JSONL framing used by
+    [explore run --trace]. The caller owns flushing/closing. *)
+
+val dashboard : ?title:string -> Metrics.t -> string
+(** {!Metrics.render} framed with a title rule, for end-of-run terminal
+    summaries. *)

@@ -38,6 +38,7 @@ let world_of_tree tree =
 type t = {
   world : world;
   fixed : bool; (* tree-backed world: n/D/Δ never change after creation *)
+  probe : Bfdn_obs.Probe.t; (* disabled by default; fires once per apply *)
   view : Partial_tree.t;
   k : int;
   positions : int array;
@@ -58,7 +59,8 @@ type t = {
   arriving : int array; (* per-node arrival counts, length capacity *)
 }
 
-let of_world ?(mask = fun ~round:_ ~robot:_ -> true) ?(fixed = false) world ~k =
+let of_world ?(mask = fun ~round:_ ~robot:_ -> true) ?(fixed = false)
+    ?(probe = Bfdn_obs.Probe.noop) world ~k =
   if k < 1 then invalid_arg "Env.create: k must be >= 1";
   let view = Partial_tree.Internal.create ~hidden_n:world.w_capacity ~root:world.w_root in
   Partial_tree.Internal.reveal view world.w_root ~parent:None
@@ -66,6 +68,7 @@ let of_world ?(mask = fun ~round:_ ~robot:_ -> true) ?(fixed = false) world ~k =
   {
     world;
     fixed;
+    probe;
     view;
     k;
     positions = Array.make k world.w_root;
@@ -84,7 +87,8 @@ let of_world ?(mask = fun ~round:_ ~robot:_ -> true) ?(fixed = false) world ~k =
     arriving = Array.make world.w_capacity 0;
   }
 
-let create ?mask tree ~k = of_world ?mask ~fixed:true (world_of_tree tree) ~k
+let create ?mask ?probe tree ~k =
+  of_world ?mask ?probe ~fixed:true (world_of_tree tree) ~k
 
 let set_reactive_blocker t blocker = t.blocker <- Some blocker
 
@@ -126,6 +130,11 @@ let fixed_world t = t.fixed
 
 let apply t moves =
   if Array.length moves <> t.k then invalid_arg "Env.apply: wrong arity";
+  (* Pre-round totals for the probe's per-round deltas: plain ints, so
+     the disabled path stays allocation-free. *)
+  let moves0 = t.moves_total in
+  let events0 = t.edge_events in
+  let explored0 = Partial_tree.num_explored t.view in
   (* The reactive blocker (Remark 8) sees the selected moves before
      deciding. Test-only adversary: this branch may allocate. *)
   let reactive =
@@ -216,4 +225,12 @@ let apply t moves =
       end
     end
   done;
-  t.round <- t.round + 1
+  t.round <- t.round + 1;
+  if t.probe.Bfdn_obs.Probe.enabled then begin
+    (* Every robot makes at most one effective move per round, so the
+       idle count is [k - moved] — no scan needed. *)
+    let moved = t.moves_total - moves0 in
+    t.probe.Bfdn_obs.Probe.on_round ~round:t.round ~moved ~idle:(t.k - moved)
+      ~revealed:(Partial_tree.num_explored t.view - explored0)
+      ~edge_events:(t.edge_events - events0)
+  end

@@ -31,9 +31,11 @@ type reactive_blocker = round:int -> selected:move array -> bool array
     {e selected} this round before deciding who may move ([true] =
     allowed). Composed with the plain mask (both must allow a robot). *)
 
-val create : ?mask:mask -> Bfdn_trees.Tree.t -> k:int -> t
+val create : ?mask:mask -> ?probe:Bfdn_obs.Probe.t -> Bfdn_trees.Tree.t -> k:int -> t
 (** [create tree ~k] places [k] robots on the root and reveals it.
-    [mask] defaults to "always allowed". *)
+    [mask] defaults to "always allowed". [probe] (default
+    {!Bfdn_obs.Probe.noop}) receives an [on_round] callback after every
+    {!apply} with that round's moved/revealed/edge-event deltas. *)
 
 (** {2 Lazily materialized worlds}
 
@@ -56,7 +58,8 @@ type world = {
       (** freeze the materialized tree *)
 }
 
-val of_world : ?mask:mask -> ?fixed:bool -> world -> k:int -> t
+val of_world :
+  ?mask:mask -> ?fixed:bool -> ?probe:Bfdn_obs.Probe.t -> world -> k:int -> t
 (** [fixed] (default [false]) declares that the world's [w_stats] never
     change after creation, letting {!Runner.run} compute its termination
     bound once instead of every round. {!create} sets it. *)

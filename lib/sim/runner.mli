@@ -19,11 +19,24 @@ type result = {
   hit_round_limit : bool;
 }
 
-val run : ?max_rounds:int -> ?on_round:(Env.t -> unit) -> algo -> Env.t -> result
+val run :
+  ?max_rounds:int ->
+  ?on_round:(Env.t -> unit) ->
+  ?probe:Bfdn_obs.Probe.t ->
+  algo ->
+  Env.t ->
+  result
 (** Repeatedly query [select] and {!Env.apply} until [finished], the
     environment is fully explored with the algorithm finished, or
     [max_rounds] is reached (default: the termination bound
     [3 * n * (D + 2) + 100] of Section 2.1, far above any correct run).
-    [on_round] is invoked after every applied round. *)
+    [on_round] is invoked after every applied round.
+
+    When an enabled [probe] is given, every round's three phases
+    (finished-check, select, apply) are bracketed with monotonic clock
+    reads and reported through [probe.on_phase]; the default
+    {!Bfdn_obs.Probe.noop} runs a separate loop with no clock reads at
+    all. The probe does not alter the round loop's decisions, so results
+    are identical with and without it. *)
 
 val pp_result : Format.formatter -> result -> unit

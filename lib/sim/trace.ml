@@ -1,3 +1,5 @@
+module Ring = Bfdn_obs.Sink.Ring
+
 type frame = {
   round : int;
   positions : int array;
@@ -5,28 +7,45 @@ type frame = {
   dangling : int;
 }
 
-type t = { mutable rev_frames : frame list; mutable count : int }
+(* Bounded ring: a long run keeps the newest [capacity] frames instead
+   of growing a list forever (and [frames] no longer pays a List.rev per
+   call — the ring iterates oldest-first directly). *)
+type t = { ring : frame Ring.t }
 
-let create () = { rev_frames = []; count = 0 }
+let default_capacity = 4096
 
-let record t env =
+let create ?(capacity = default_capacity) () = { ring = Ring.create capacity }
+
+let frame_of_env env =
   let view = Env.view env in
-  let frame =
-    {
-      round = Env.round env;
-      positions = Env.positions env;
-      explored = Partial_tree.num_explored view;
-      dangling = Partial_tree.num_dangling view;
-    }
-  in
-  t.rev_frames <- frame :: t.rev_frames;
-  t.count <- t.count + 1
+  {
+    round = Env.round env;
+    positions = Env.positions env;
+    explored = Partial_tree.num_explored view;
+    dangling = Partial_tree.num_dangling view;
+  }
+
+let record t env = Ring.push t.ring (frame_of_env env)
 
 let recorder t env = record t env
 
-let frames t = List.rev t.rev_frames
+let frames t = Ring.to_list t.ring
 
-let length t = t.count
+let length t = Ring.pushed t.ring
+
+let retained t = Ring.length t.ring
+
+let dropped t = Ring.dropped t.ring
+
+let json_of_frame f =
+  let module J = Bfdn_obs.Json in
+  J.Obj
+    [
+      ("round", J.Int f.round);
+      ("explored", J.Int f.explored);
+      ("dangling", J.Int f.dangling);
+      ("positions", J.List (Array.to_list (Array.map (fun p -> J.Int p) f.positions)));
+    ]
 
 let render_frame env =
   let view = Env.view env in

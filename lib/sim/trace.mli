@@ -1,8 +1,14 @@
 (** Exploration traces and small-scale ASCII rendering.
 
     Attach {!recorder} to {!Runner.run}'s [on_round] hook to capture one
-    frame per round; {!render} then draws the discovered tree with robot
-    positions, which the examples use as a terminal animation. *)
+    frame per round; {!render_frame} then draws the discovered tree with
+    robot positions, which the examples use as a terminal animation.
+
+    Frames are held in a bounded ring buffer ({!Bfdn_obs.Sink.Ring}):
+    once more than [capacity] frames have been recorded the oldest are
+    overwritten, so arbitrarily long runs trace in constant memory. For
+    a lossless record, stream frames as they happen ({!json_of_frame}
+    with [explore run --trace FILE.jsonl]). *)
 
 type frame = {
   round : int;
@@ -13,7 +19,9 @@ type frame = {
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the retained frames (default 4096).
+    @raise Invalid_argument when [capacity < 1]. *)
 
 val recorder : t -> Env.t -> unit
 (** To be used as [~on_round:(Trace.recorder trace)]. *)
@@ -21,10 +29,26 @@ val recorder : t -> Env.t -> unit
 val record : t -> Env.t -> unit
 (** Capture the current state as a frame (used for the initial state). *)
 
+val frame_of_env : Env.t -> frame
+(** The frame {!record} would store, without storing it. *)
+
 val frames : t -> frame list
-(** In chronological order. *)
+(** Retained frames in chronological order (the newest [capacity] ones
+    when the ring has wrapped). *)
 
 val length : t -> int
+(** Total frames ever recorded (may exceed [List.length (frames t)]
+    once the ring wraps). *)
+
+val retained : t -> int
+(** Frames currently held, [min (length t) capacity]. *)
+
+val dropped : t -> int
+(** Frames overwritten so far: [length t - retained t]. *)
+
+val json_of_frame : frame -> Bfdn_obs.Json.t
+(** [{round, explored, dangling, positions}] — one line of the JSONL
+    trace stream. *)
 
 val render_frame : Env.t -> string
 (** Indented rendering of the current discovered tree; each line shows one
@@ -33,6 +57,6 @@ val render_frame : Env.t -> string
 
 val depth_timeline : t -> Env.t -> string
 (** Heat-map of robot counts per depth (rows) over time (columns, one per
-    recorded frame, subsampled to fit 72 columns): the breadth-first wave
+    retained frame, subsampled to fit 72 columns): the breadth-first wave
     of BFDN is visible as a diagonal front. Uses the final environment to
     resolve node depths. *)

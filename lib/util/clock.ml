@@ -1,0 +1,11 @@
+(* Monotonic time for profiling probes. Backed by bechamel's
+   clock_gettime(CLOCK_MONOTONIC) stub — a [@noalloc] external returning
+   an unboxed int64 — immediately narrowed to an immediate [int] so hot
+   paths that read the clock allocate nothing. 2^62 ns is ~146 years of
+   uptime, so the narrowing cannot overflow in practice. *)
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+let now () = float_of_int (now_ns ()) *. 1e-9
+
+let ns_to_s ns = float_of_int ns *. 1e-9

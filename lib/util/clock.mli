@@ -1,0 +1,16 @@
+(** Monotonic clock for phase timing and latency probes.
+
+    Unlike [Unix.gettimeofday] this never jumps backwards (NTP, DST), so
+    differences are safe to feed into histograms. The reading is returned
+    as an immediate [int] of nanoseconds: taking a timestamp allocates
+    nothing, which the instrumented round loop relies on. *)
+
+val now_ns : unit -> int
+(** Monotonic nanoseconds since an arbitrary origin. Only differences are
+    meaningful. *)
+
+val now : unit -> float
+(** Same clock in seconds. *)
+
+val ns_to_s : int -> float
+(** Convert a nanosecond difference to seconds. *)

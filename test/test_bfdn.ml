@@ -199,7 +199,7 @@ let test_open_subtrees_hosted () =
       checkb (name ^ " open subtrees always hosted") true !ok)
     [
       ("bfdn", fun env -> Bfdn_algo.algo (Bfdn_algo.make env));
-      ("cte", Bfdn_baselines.Cte.make);
+      ("cte", fun env -> Bfdn_baselines.Cte.make env);
       ("cte-wr", Bfdn_baselines.Cte_writeread.make);
       ("bfdn-wr", fun env -> Bfdn.Bfdn_planner.algo (Bfdn.Bfdn_planner.make env));
       ("bfdn-rec", fun env -> Bfdn.Bfdn_rec.algo (Bfdn.Bfdn_rec.make ~ell:2 env));

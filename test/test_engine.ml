@@ -236,7 +236,7 @@ let test_report_of_sweep () =
   in
   let results = Batch.run ~workers:1 jobs in
   let j =
-    Report.of_sweep ~label:"test" ~workers:2 ~wall:0.5 ~sequential_wall:1.0
+    Report.of_sweep ~label:"test" ~workers:2 ~seed:0 ~wall:0.5 ~sequential_wall:1.0
       results
   in
   let s = Report.to_string j in

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "bfdn"
     [
       Test_util.suite;
+      Test_obs.suite;
       Test_trees.suite;
       Test_sim.suite;
       Test_partial_diff.suite;

@@ -1,0 +1,293 @@
+(* Tests for the observability subsystem: the JSON emitter's float
+   round-trip, the bounded ring, histogram bucketing, cross-registry
+   merging, and probes wired through the runner and the engine pool. *)
+
+module Json = Bfdn_obs.Json
+module Metrics = Bfdn_obs.Metrics
+module Probe = Bfdn_obs.Probe
+module Sink = Bfdn_obs.Sink
+module Ring = Bfdn_obs.Sink.Ring
+module Env = Bfdn_sim.Env
+module Runner = Bfdn_sim.Runner
+module Tree = Bfdn_trees.Tree
+module Batch = Bfdn_engine.Batch
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+let checkf = Alcotest.(check (float 0.0))
+
+let raises_invalid f =
+  try
+    f ();
+    false
+  with Invalid_argument _ -> true
+
+(* ---- json ---- *)
+
+let test_json_float_roundtrip () =
+  (* The %.6g emitter this replaced lost 0.1 to 0.100000; every finite
+     double must now parse back bit-for-bit. *)
+  List.iter
+    (fun f ->
+      let s = Json.float_to_string f in
+      checkb (Printf.sprintf "%h round-trips via %s" f s) true
+        (float_of_string s = f))
+    [
+      0.1; 1.0 /. 3.0; 4.0 *. atan 1.0; 1e-308; 4e-324; max_float;
+      min_float; 1e22; 123456.789012345; -0.0; 0.0; 2.5; 667010.0;
+    ]
+
+let test_json_nonfinite_null () =
+  checks "nan" "null" (Json.to_string (Json.Float nan));
+  checks "inf" "null" (Json.to_string (Json.Float infinity));
+  checks "neg inf" "null" (Json.to_string (Json.Float neg_infinity))
+
+let test_json_shapes () =
+  checks "obj"
+    {|{"a":1,"b":[true,null,"x\"y"]}|}
+    (Json.to_string
+       (Json.Obj
+          [
+            ("a", Json.Int 1);
+            ("b", Json.List [ Json.Bool true; Json.Null; Json.String "x\"y" ]);
+          ]));
+  checks "escapes" "\\\"\\\\\\n\\t" (Json.escape "\"\\\n\t")
+
+(* ---- ring ---- *)
+
+let test_ring_wraps () =
+  let r = Ring.create 3 in
+  List.iter (Ring.push r) [ 1; 2; 3; 4; 5 ];
+  checki "capacity" 3 (Ring.capacity r);
+  checki "length" 3 (Ring.length r);
+  checki "pushed" 5 (Ring.pushed r);
+  checki "dropped" 2 (Ring.dropped r);
+  checkb "keeps newest, oldest-first" true (Ring.to_list r = [ 3; 4; 5 ]);
+  Ring.clear r;
+  checki "cleared" 0 (Ring.length r);
+  checkb "empty list" true (Ring.to_list r = [])
+
+let test_ring_under_capacity () =
+  let r = Ring.create 8 in
+  Ring.push r 42;
+  checki "length" 1 (Ring.length r);
+  checki "dropped" 0 (Ring.dropped r);
+  checkb "list" true (Ring.to_list r = [ 42 ])
+
+(* ---- metrics ---- *)
+
+let test_counter_gauge () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "c" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  checki "counter" 5 (Metrics.value c);
+  let g = Metrics.gauge m "g" in
+  Metrics.set g 2.5;
+  checkf "gauge" 2.5 (Metrics.gauge_value g);
+  checkb "same handle" true (Metrics.counter m "c" == c);
+  checkb "kind clash" true
+    (raises_invalid (fun () -> ignore (Metrics.gauge m "c")))
+
+let test_histogram_buckets () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram ~bounds:[| 1.0; 2.0; 4.0 |] m "h" in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 4.0; 5.0 ];
+  checki "buckets incl overflow" 4 (Metrics.num_buckets h);
+  (* Bounds are inclusive upper bounds: 1.0 lands in the first bucket,
+     4.0 in the last finite one, 5.0 overflows. *)
+  checki "le 1" 2 (Metrics.bucket_count h 0);
+  checki "le 2" 1 (Metrics.bucket_count h 1);
+  checki "le 4" 1 (Metrics.bucket_count h 2);
+  checki "overflow" 1 (Metrics.bucket_count h 3);
+  checkb "overflow le" true (Metrics.bucket_le h 3 = infinity);
+  checki "count" 5 (Metrics.hist_count h);
+  checkf "sum" 12.0 (Metrics.hist_sum h);
+  checkf "min" 0.5 (Metrics.hist_min h);
+  checkf "max" 5.0 (Metrics.hist_max h)
+
+let test_merge () =
+  let a = Metrics.create () and b = Metrics.create () in
+  let ca = Metrics.counter a "n" and cb = Metrics.counter b "n" in
+  Metrics.add ca 3;
+  Metrics.add cb 4;
+  let ha = Metrics.histogram ~bounds:[| 1.0; 2.0 |] a "h" in
+  let hb = Metrics.histogram ~bounds:[| 1.0; 2.0 |] b "h" in
+  Metrics.observe ha 0.5;
+  Metrics.observe hb 1.5;
+  Metrics.observe hb 9.0;
+  let only_b = Metrics.counter b "only_b" in
+  Metrics.incr only_b;
+  Metrics.merge_into ~into:a b;
+  checki "counters add" 7 (Metrics.value ca);
+  let h = Option.get (Metrics.find_histogram a "h") in
+  checki "hist counts add" 3 (Metrics.hist_count h);
+  checki "bucket 0" 1 (Metrics.bucket_count h 0);
+  checki "bucket 1" 1 (Metrics.bucket_count h 1);
+  checki "overflow" 1 (Metrics.bucket_count h 2);
+  checkf "min over both" 0.5 (Metrics.hist_min h);
+  checkf "max over both" 9.0 (Metrics.hist_max h);
+  checki "missing metrics registered" 1
+    (Metrics.value (Option.get (Metrics.find_counter a "only_b")))
+
+let test_merge_bounds_mismatch () =
+  let a = Metrics.create () and b = Metrics.create () in
+  ignore (Metrics.histogram ~bounds:[| 1.0; 2.0 |] a "h");
+  ignore (Metrics.histogram ~bounds:[| 1.0; 3.0 |] b "h");
+  checkb "bounds mismatch raises" true
+    (raises_invalid (fun () -> Metrics.merge_into ~into:a b))
+
+(* ---- probes through the runner ---- *)
+
+let small () = Tree.of_parents [| -1; 0; 0; 1; 1; 2 |]
+
+let test_probe_counters_match_runner () =
+  let m = Metrics.create () in
+  let probe = Probe.of_metrics m in
+  let env = Env.create ~probe (small ()) ~k:2 in
+  let algo = Bfdn.Bfdn_algo.algo (Bfdn.Bfdn_algo.make ~probe env) in
+  let r = Runner.run ~probe algo env in
+  let cval name = Metrics.value (Option.get (Metrics.find_counter m name)) in
+  checkb "explored" true r.Runner.explored;
+  checki "rounds counter" r.Runner.rounds (cval "rounds");
+  checki "moves counter" r.Runner.moves (cval "moves");
+  checki "edge_events counter" r.Runner.edge_events (cval "edge_events");
+  (* n - 1 nodes are revealed after the root. *)
+  checki "reveals counter" 5 (cval "reveals");
+  checkb "phases timed" true
+    (cval "select_ns" >= 0 && cval "apply_ns" >= 0
+    && cval "finished_check_ns" > 0);
+  let idle = Option.get (Metrics.find_histogram m "idle_robots") in
+  checki "one idle sample per round" r.Runner.rounds
+    (Metrics.hist_count idle);
+  (* The reanchor summary flushes the algorithm's own per-depth counts
+     once, when finished first holds. *)
+  let rd = Option.get (Metrics.find_histogram m "reanchor_depth") in
+  checki "summary fills reanchor_depth" (cval "reanchors")
+    (Metrics.hist_count rd)
+
+let test_event_hooks_gated () =
+  (* An aggregate probe (events = false) must never fire the per-event
+     hooks; Probe.make ~events:true must. *)
+  let selects = ref 0 and reanchors = ref 0 in
+  let run ~events =
+    selects := 0;
+    reanchors := 0;
+    let probe =
+      Probe.make ~events
+        ~on_select:(fun ~idle:_ -> incr selects)
+        ~on_reanchor:(fun ~robot:_ ~depth:_ ~route_len:_ -> incr reanchors)
+        ()
+    in
+    let env = Env.create ~probe (small ()) ~k:2 in
+    Runner.run ~probe (Bfdn.Bfdn_algo.algo (Bfdn.Bfdn_algo.make ~probe env)) env
+  in
+  let r = run ~events:false in
+  checki "no select events when gated" 0 !selects;
+  checki "no reanchor events when gated" 0 !reanchors;
+  let r' = run ~events:true in
+  checki "one select event per round" r'.Runner.rounds !selects;
+  checkb "reanchor events fire" true (!reanchors > 0);
+  checki "events do not perturb" r.Runner.rounds r'.Runner.rounds
+
+let test_reanchor_summary_once () =
+  let totals = ref [] in
+  let probe =
+    Probe.make
+      ~on_reanchor_summary:(fun ~total ~by_depth ->
+        totals := (total, Array.fold_left ( + ) 0 by_depth) :: !totals)
+      ()
+  in
+  let env = Env.create ~probe (small ()) ~k:2 in
+  let t = Bfdn.Bfdn_algo.make ~probe env in
+  let a = Bfdn.Bfdn_algo.algo t in
+  ignore (Runner.run ~probe a env);
+  (* finished keeps being true afterwards; calling it again must not
+     re-send. *)
+  checkb "still finished" true (a.Runner.finished env);
+  match !totals with
+  | [ (total, by_depth_sum) ] ->
+      checki "summary total matches algo counter" (Bfdn.Bfdn_algo.reanchors_total t) total;
+      checki "by_depth sums to total" total by_depth_sum
+  | l -> Alcotest.failf "summary fired %d times" (List.length l)
+
+let test_probe_does_not_perturb () =
+  let run probed =
+    let probe =
+      if probed then Probe.of_metrics (Metrics.create ()) else Probe.noop
+    in
+    let env = Env.create ~probe (small ()) ~k:3 in
+    Runner.run ~probe (Bfdn_baselines.Cte.make ~probe env) env
+  in
+  let a = run false and b = run true in
+  checki "same rounds" a.Runner.rounds b.Runner.rounds;
+  checki "same moves" a.Runner.moves b.Runner.moves;
+  checki "same events" a.Runner.edge_events b.Runner.edge_events
+
+(* ---- probes through the engine pool ---- *)
+
+let pool_jobs_counted workers =
+  let regs = Array.init (max 1 workers) (fun _ -> Metrics.create ()) in
+  let probe = Probe.pool_probe regs in
+  let xs = Array.init 20 (fun i -> i) in
+  let res = Batch.map ~probe ~workers (fun x -> x * x) xs in
+  let merged = Metrics.create () in
+  Array.iter (fun reg -> Metrics.merge_into ~into:merged reg) regs;
+  let count name =
+    match Metrics.find_histogram merged name with
+    | Some h -> Metrics.hist_count h
+    | None -> 0
+  in
+  (res, count "job_s", count "queue_wait_s")
+
+let test_pool_probe_aggregate_invariant () =
+  (* The per-worker split varies with scheduling, but the merged totals
+     must equal the job count whatever the worker count. *)
+  let res1, jobs1, waits1 = pool_jobs_counted 1 in
+  let res3, jobs3, waits3 = pool_jobs_counted 3 in
+  checki "jobs observed (1 worker)" 20 jobs1;
+  checki "jobs observed (3 workers)" 20 jobs3;
+  checki "waits observed (1 worker)" 20 waits1;
+  checki "waits observed (3 workers)" 20 waits3;
+  checkb "results identical across worker counts" true (res1 = res3);
+  checkb "results correct" true
+    (Array.to_list res1
+    = List.init 20 (fun i -> Ok (i * i)))
+
+(* ---- sink ---- *)
+
+let test_dashboard_renders () =
+  let m = Metrics.create () in
+  Metrics.add (Metrics.counter m "rounds") 7;
+  Metrics.observe (Metrics.histogram ~bounds:[| 1.0 |] m "lat") 0.5;
+  let s = Sink.dashboard ~title:"hot loop" m in
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  checkb "has title" true (contains "hot loop");
+  checkb "has counter" true (contains "rounds");
+  checkb "has histogram" true (contains "lat")
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  ( "obs",
+    [
+      tc "json float round-trip" test_json_float_roundtrip;
+      tc "json non-finite null" test_json_nonfinite_null;
+      tc "json shapes" test_json_shapes;
+      tc "ring wraps" test_ring_wraps;
+      tc "ring under capacity" test_ring_under_capacity;
+      tc "counter and gauge" test_counter_gauge;
+      tc "histogram buckets" test_histogram_buckets;
+      tc "merge registries" test_merge;
+      tc "merge bounds mismatch" test_merge_bounds_mismatch;
+      tc "probe counters match runner" test_probe_counters_match_runner;
+      tc "event hooks gated" test_event_hooks_gated;
+      tc "reanchor summary once" test_reanchor_summary_once;
+      tc "probe does not perturb" test_probe_does_not_perturb;
+      tc "pool probe aggregate invariant" test_pool_probe_aggregate_invariant;
+      tc "dashboard renders" test_dashboard_renders;
+    ] )

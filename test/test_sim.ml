@@ -302,6 +302,89 @@ let test_trace_render () =
   let s = Trace.render_frame env in
   checkb "mentions robots" true (String.length s > 0 && String.contains s 'r')
 
+let checks = Alcotest.(check string)
+
+(* ---- golden renderings: the exact strings are part of the contract
+   (EXAMPLES in the docs show them verbatim). ---- *)
+
+let test_trace_render_golden_single () =
+  let env = Env.create (Tree.of_parents [| -1 |]) ~k:1 in
+  checks "single node"
+    "round 0: 1 explored, 0 dangling\n0  <- robots [0]\n"
+    (Trace.render_frame env)
+
+let test_trace_render_golden_multi () =
+  let env = Env.create (small ()) ~k:2 in
+  checks "initial"
+    "round 0: 1 explored, 2 dangling\n0 (+2?)  <- robots [0,1]\n"
+    (Trace.render_frame env);
+  Env.apply env [| Env.Via_port 0; Env.Via_port 1 |];
+  checks "after one round"
+    ("round 1: 3 explored, 3 dangling\n" ^ "0\n"
+   ^ "  1 (+2?)  <- robots [0]\n" ^ "  2 (+1?)  <- robots [1]\n")
+    (Trace.render_frame env)
+
+let test_trace_timeline_golden_empty () =
+  let env = Env.create (small ()) ~k:1 in
+  let trace = Trace.create () in
+  checks "no frames" "(no frames)\n" (Trace.depth_timeline trace env)
+
+let test_trace_timeline_golden_single_frame () =
+  let env = Env.create (small ()) ~k:2 in
+  let trace = Trace.create () in
+  Trace.record trace env;
+  let legend =
+    Bfdn_util.Ascii.legend
+      [ ('.', "0"); (':', "1-2"); ('o', "3-5"); ('O', "6-10"); ('@', ">10") ]
+  in
+  checks "one frame, both robots at depth 0"
+    ("robots per depth over time (1 frames):\n" ^ "d=0   :\n"
+   ^ "      time ->\n" ^ legend ^ "\n")
+    (Trace.depth_timeline trace env)
+
+let test_trace_timeline_golden_multi_depth () =
+  (* One robot walking down a path: the diagonal front, one frame per
+     depth. *)
+  let env = Env.create (Tree_gen.path 3) ~k:1 in
+  let trace = Trace.create () in
+  Trace.record trace env;
+  Env.apply env [| Env.Via_port 0 |];
+  Trace.record trace env;
+  (* Port 0 of a non-root node is the parent edge; the dangling child
+     port of a path node is port 1. *)
+  Env.apply env [| Env.Via_port 1 |];
+  Trace.record trace env;
+  let legend =
+    Bfdn_util.Ascii.legend
+      [ ('.', "0"); (':', "1-2"); ('o', "3-5"); ('O', "6-10"); ('@', ">10") ]
+  in
+  checks "diagonal"
+    ("robots per depth over time (3 frames):\n" ^ "d=0   :..\n"
+   ^ "d=1   .:.\n" ^ "d=2   ..:\n" ^ "      time ->\n" ^ legend ^ "\n")
+    (Trace.depth_timeline trace env)
+
+let test_trace_ring_bounded () =
+  let env = Env.create (Tree_gen.path 6) ~k:2 in
+  let trace = Trace.create ~capacity:4 () in
+  let algo = Bfdn.Bfdn_algo.algo (Bfdn.Bfdn_algo.make env) in
+  let r = Runner.run ~on_round:(Trace.recorder trace) algo env in
+  checki "length counts every frame" r.Runner.rounds (Trace.length trace);
+  checki "retained bounded" 4 (Trace.retained trace);
+  checki "dropped" (r.Runner.rounds - 4) (Trace.dropped trace);
+  let fs = Trace.frames trace in
+  checki "frames returns retained" 4 (List.length fs);
+  (* Newest [capacity] frames, chronological: the last one is the final
+     round. *)
+  checki "last frame is final round" r.Runner.rounds
+    (List.nth fs 3).Trace.round
+
+let test_trace_json_frame () =
+  let env = Env.create (small ()) ~k:2 in
+  Env.apply env [| Env.Via_port 0; Env.Via_port 1 |];
+  checks "frame json"
+    {|{"round":1,"explored":3,"dangling":3,"positions":[1,2]}|}
+    (Bfdn_obs.Json.to_string (Trace.json_of_frame (Trace.frame_of_env env)))
+
 let suite =
   let tc name f = Alcotest.test_case name `Quick f in
   let qc t = QCheck_alcotest.to_alcotest t in
@@ -335,4 +418,11 @@ let suite =
       tc "trace records" test_trace_records;
       tc "trace depth timeline" test_trace_depth_timeline;
       tc "trace render" test_trace_render;
+      tc "trace render golden single" test_trace_render_golden_single;
+      tc "trace render golden multi" test_trace_render_golden_multi;
+      tc "trace timeline golden empty" test_trace_timeline_golden_empty;
+      tc "trace timeline golden single" test_trace_timeline_golden_single_frame;
+      tc "trace timeline golden multi-depth" test_trace_timeline_golden_multi_depth;
+      tc "trace ring bounded" test_trace_ring_bounded;
+      tc "trace json frame" test_trace_json_frame;
     ] )
