@@ -12,6 +12,9 @@ module Batch = Bfdn_engine.Batch
 module Engine_report = Bfdn_engine.Report
 module Metrics = Bfdn_obs.Metrics
 module Probe = Bfdn_obs.Probe
+module Param = Bfdn_scenario.Param
+module Algo_registry = Bfdn_scenario.Algo_registry
+module Scenario = Bfdn_scenario.Scenario
 
 type scale = Quick | Normal | Full
 
@@ -47,18 +50,11 @@ let run_planner tree k =
   let t = Bfdn.Bfdn_planner.make env in
   (env, t, Runner.run (Bfdn.Bfdn_planner.algo t) env)
 
-let run_cte tree k =
+(* Registry-dispatched run: the generic path for experiments that only
+   need the result, not a typed algorithm-state handle. *)
+let run_algo ?params name tree k =
   let env = Env.create tree ~k in
-  (env, Runner.run (Bfdn_baselines.Cte.make env) env)
-
-let run_offline tree k =
-  let env = Env.create tree ~k in
-  (env, Runner.run (Bfdn_baselines.Offline_split.make env) env)
-
-let run_rec tree k ell =
-  let env = Env.create tree ~k in
-  let t = Bfdn.Bfdn_rec.make ~ell env in
-  (env, t, Runner.run (Bfdn.Bfdn_rec.algo t) env)
+  (env, Runner.run (Algo_registry.instantiate ?params name env) env)
 
 let thm1_bound env k =
   Bfdn.Bounds.bfdn ~n:(Env.oracle_n env) ~k ~d:(Env.oracle_depth env)
@@ -80,10 +76,7 @@ let ok_outcome (job, res) =
   | Ok (o : Job.outcome) -> o
   | Error e -> failwith (Printf.sprintf "engine job %s failed: %s" (Job.describe job) e)
 
-let family_of_job (job : Job.t) =
-  match job.instance with
-  | Job.Generated { family; _ } -> family
-  | Job.Adversarial { policy; _ } -> "adv:" ^ policy
+let family_of_job = Scenario.instance_label
 
 (* Bound formulas from an outcome's frozen-instance statistics. *)
 let thm1_bound_of (o : Job.outcome) k =

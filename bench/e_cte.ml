@@ -42,13 +42,10 @@ let run () =
     (fun (name, tree) ->
       List.iter
         (fun k ->
-          let env1, r1 = run_cte tree k in
+          let env1, r1 = run_algo "cte" tree k in
           let _, _, r2 = run_bfdn tree k in
-          let _, r3 = run_offline tree k in
-          let rwr =
-            let env = Env.create tree ~k in
-            Runner.run (Bfdn_baselines.Cte_writeread.make env) env
-          in
+          let _, r3 = run_algo "offline" tree k in
+          let _, rwr = run_algo "cte-writeread" tree k in
           let n = Env.oracle_n env1 and d = Env.oracle_depth env1 in
           (* Concrete-formula argmin: at laptop scales the constants matter
              (the constants-dropped Appendix A regions put everything this

@@ -55,11 +55,7 @@ let seed_baseline : ((string * string * int) * float) list =
 let baseline_for key =
   if !scale <> Normal then None else List.assoc_opt key seed_baseline
 
-let algo_of ?(probe = Probe.noop) name env =
-  match name with
-  | "bfdn" -> Bfdn.Bfdn_algo.algo (Bfdn.Bfdn_algo.make ~probe env)
-  | "cte" -> Bfdn_baselines.Cte.make ~probe env
-  | other -> invalid_arg ("e_hotpath: unknown algo " ^ other)
+let algo_of ?probe name env = Algo_registry.instantiate ?probe name env
 
 type sample = {
   s_rounds : int;

@@ -37,7 +37,9 @@ let run () =
           let thm1 = thm1_bound env0 k in
           List.iter
             (fun ell ->
-              let env, _, r = run_rec tree k ell in
+              let env, r =
+                run_algo "bfdn-rec" ~params:[ ("ell", Param.Int ell) ] tree k
+              in
               let bound =
                 Bfdn.Bounds.bfdn_rec ~n:(Env.oracle_n env) ~k
                   ~d:(Env.oracle_depth env)

@@ -1,14 +1,19 @@
 (* bfdn-explore: command-line driver for the collaborative-exploration
    library. Subcommands:
 
-   run      explore a generated tree with a chosen algorithm
-   sweep    run a whole instance batch on the parallel engine
-   game     play the Section 3 balls-in-urns game
-   regions  print the Figure 1 region map
-   grid     sweep a warehouse grid with graph-BFDN *)
+   run       explore a tree scenario (flags or a --spec JSON file)
+   sweep     run a whole instance batch on the parallel engine
+   list      print every registered algorithm, world and adversary
+   game      play the Section 3 balls-in-urns game
+   regions   print the Figure 1 region map
+   grid      sweep a warehouse grid with graph-BFDN
+   adversary grow a tree adaptively against the explorer
+
+   All algorithm and world dispatch goes through the Bfdn_scenario
+   registries: the enums below are derived from them, so a variant
+   registered there is reachable here with no CLI change. *)
 
 open Cmdliner
-module Tree_gen = Bfdn_trees.Tree_gen
 module Env = Bfdn_sim.Env
 module Runner = Bfdn_sim.Runner
 module Trace = Bfdn_sim.Trace
@@ -19,6 +24,10 @@ module Report = Bfdn_engine.Report
 module Metrics = Bfdn_obs.Metrics
 module Probe = Bfdn_obs.Probe
 module Sink = Bfdn_obs.Sink
+module Param = Bfdn_scenario.Param
+module Algo_registry = Bfdn_scenario.Algo_registry
+module World_registry = Bfdn_scenario.World_registry
+module Scenario = Bfdn_scenario.Scenario
 
 (* ---- shared arguments ---- *)
 
@@ -28,31 +37,120 @@ let seed_arg =
 let k_arg =
   Arg.(value & opt int 8 & info [ "k"; "robots" ] ~docv:"K" ~doc:"Number of robots.")
 
-(* ---- run ---- *)
+let names l = String.concat ", " l
 
-let algos = [ "bfdn"; "bfdn-wr"; "bfdn-rec"; "cte"; "dfs"; "offline"; "random-walk" ]
+(* Parse repeatable KEY=VALUE options against a registry schema; the
+   schema's typed default decides how VALUE is read. *)
+let parse_bindings ~what ~schema kvs =
+  List.map
+    (fun kv ->
+      match String.index_opt kv '=' with
+      | None -> failwith (Printf.sprintf "%s: expected KEY=VALUE, got %S" what kv)
+      | Some i ->
+          let key = String.sub kv 0 i in
+          let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+          let spec =
+            match List.find_opt (fun s -> String.equal s.Param.key key) schema with
+            | Some s -> s
+            | None ->
+                failwith
+                  (Printf.sprintf "%s: unknown parameter %S (known: %s)" what key
+                     (names (List.map (fun s -> s.Param.key) schema)))
+          in
+          let bad ty =
+            failwith
+              (Printf.sprintf "%s: parameter %s expects %s, got %S" what key ty v)
+          in
+          let value =
+            match spec.Param.default with
+            | Param.Int _ -> (
+                match int_of_string_opt v with
+                | Some i -> Param.Int i
+                | None -> bad "an int")
+            | Param.Float _ -> (
+                match float_of_string_opt v with
+                | Some f -> Param.Float f
+                | None -> bad "a float")
+            | Param.Bool _ -> (
+                match bool_of_string_opt v with
+                | Some b -> Param.Bool b
+                | None -> bad "a bool")
+            | Param.String _ -> Param.String v
+          in
+          (key, value))
+    kvs
+
+let algo_schema name =
+  match Algo_registry.find name with
+  | Some e -> e.Algo_registry.params
+  | None -> failwith (Printf.sprintf "unknown algorithm %S" name)
+
+(* ---- run ---- *)
 
 let run_cmd =
   let family =
     Arg.(
       value
-      & opt (enum (List.map (fun f -> (f, f)) Tree_gen.families)) "random"
-      & info [ "family" ] ~docv:"FAMILY"
+      & opt (enum World_registry.cli_world_choices) "random"
+      & info [ "family"; "world" ] ~docv:"WORLD"
           ~doc:
-            (Printf.sprintf "Tree family: %s." (String.concat ", " Tree_gen.families)))
+            (Printf.sprintf "Tree world: %s."
+               (names World_registry.tree_names)))
   in
   let algo_name =
     Arg.(
       value
-      & opt (enum (List.map (fun a -> (a, a)) algos)) "bfdn"
+      & opt (enum Algo_registry.cli_choices) "bfdn"
       & info [ "algo" ] ~docv:"ALGO"
-          ~doc:(Printf.sprintf "Algorithm: %s." (String.concat ", " algos)))
+          ~doc:(Printf.sprintf "Algorithm: %s." (names Algo_registry.tree_names)))
   in
   let n = Arg.(value & opt int 5000 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Target node count.") in
   let depth =
     Arg.(value & opt int 20 & info [ "depth" ] ~docv:"D" ~doc:"Depth hint for the generator.")
   in
-  let ell = Arg.(value & opt int 2 & info [ "ell" ] ~docv:"L" ~doc:"Recursion level for bfdn-rec.") in
+  let params =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "param"; "p" ] ~docv:"KEY=VALUE"
+          ~doc:
+            "Algorithm parameter (repeatable); see $(b,explore list) for each \
+             algorithm's schema, e.g. --algo bfdn-rec --param ell=3.")
+  in
+  let max_rounds =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-rounds" ] ~docv:"R"
+          ~doc:"Round cap (default: the Section 2.1 termination bound).")
+  in
+  let spec_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spec" ] ~docv:"FILE.json"
+          ~doc:
+            "Load the whole scenario (world, algorithm, parameters, k, seed) \
+             from a JSON spec file; the instance/algorithm flags are ignored.")
+  in
+  let dump_spec =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-spec" ] ~docv:"FILE"
+          ~doc:
+            "Write the scenario spec as JSON to $(docv) (- for stdout) and \
+             exit without running — the file re-executes with --spec.")
+  in
+  let smoke =
+    Arg.(
+      value
+      & flag
+      & info [ "smoke" ]
+          ~doc:
+            "CI mode: one compact line of output; exit non-zero unless the \
+             run fully explored its instance.")
+  in
   let trace =
     Arg.(
       value
@@ -85,77 +183,172 @@ let run_cmd =
       & opt (some string) None
       & info [ "dump-tree" ] ~docv:"FILE" ~doc:"Write the instance to a file for later replay.")
   in
-  let action family algo_name n depth k ell seed trace watch metrics tree_file
-      dump_tree =
-    let rng = Rng.create seed in
-    let tree =
-      match tree_file with
-      | Some file ->
-          let ic = open_in file in
-          let contents = really_input_string ic (in_channel_length ic) in
-          close_in ic;
-          Bfdn_trees.Tree.of_string (String.trim contents)
-      | None -> Tree_gen.of_family family ~rng ~n ~depth_hint:depth
+  let action spec_file dump_spec smoke family algo_name n depth params k seed
+      max_rounds trace watch metrics tree_file dump_tree =
+    let spec =
+      match spec_file with
+      | Some file -> (
+          match Scenario.load file with
+          | Ok s -> s
+          | Error msg -> failwith msg)
+      | None ->
+          let algo_params =
+            parse_bindings ~what:"--param" ~schema:(algo_schema algo_name) params
+          in
+          Scenario.make ~algo:algo_name ~algo_params ~k ~seed ?max_rounds
+            ~metrics
+            (Scenario.generated ~family ~n ~depth_hint:depth)
     in
-    (match dump_tree with
+    let spec = if metrics then { spec with Scenario.metrics = true } else spec in
+    (match Scenario.validate spec with
+    | Ok () -> ()
+    | Error msg -> failwith msg);
+    match dump_spec with
+    | Some "-" -> print_endline (Scenario.to_string spec)
     | Some file ->
-        let oc = open_out file in
-        output_string oc (Bfdn_trees.Tree.to_string tree);
-        output_char oc '\n';
-        close_out oc;
-        Printf.printf "instance written to %s\n" file
-    | None -> ());
-    let registry = if metrics then Some (Metrics.create ()) else None in
-    let probe =
-      match registry with Some m -> Probe.of_metrics m | None -> Probe.noop
-    in
-    let env = Env.create ~probe tree ~k in
-    let algo =
-      match algo_name with
-      | "bfdn" -> Bfdn.Bfdn_algo.algo (Bfdn.Bfdn_algo.make ~probe env)
-      | "bfdn-wr" -> Bfdn.Bfdn_planner.algo (Bfdn.Bfdn_planner.make env)
-      | "bfdn-rec" -> Bfdn.Bfdn_rec.algo (Bfdn.Bfdn_rec.make ~ell env)
-      | "cte" -> Bfdn_baselines.Cte.make ~probe env
-      | "dfs" -> Bfdn_baselines.Dfs_single.make env
-      | "offline" -> Bfdn_baselines.Offline_split.make env
-      | "random-walk" -> Bfdn_baselines.Random_walk.make ~rng env
-      | _ -> assert false
-    in
-    let trace_oc = Option.map open_out trace in
-    let on_round env =
-      (match trace_oc with
-      | Some oc ->
-          Sink.write_jsonl oc (Trace.json_of_frame (Trace.frame_of_env env))
-      | None -> ());
-      if watch then begin
-        print_newline ();
-        print_string (Trace.render_frame env)
-      end
-    in
-    let result = Runner.run ~on_round ~probe algo env in
-    (match (trace_oc, trace) with
-    | Some oc, Some path ->
-        close_out oc;
-        Printf.printf "trace written to %s (%d frames)\n" path result.rounds
-    | _ -> ());
-    let nn = Env.oracle_n env and d = Env.oracle_depth env in
-    let delta = Env.oracle_max_degree env in
-    Printf.printf "tree: n=%d D=%d Δ=%d (family %s, seed %d)\n" nn d delta family seed;
-    Format.printf "%s with k=%d: %a@." algo_name k Runner.pp_result result;
-    Printf.printf "offline lower bound : %.0f\n" (Bfdn.Bounds.offline_lb ~n:nn ~k ~d);
-    Printf.printf "Theorem 1 guarantee : %.0f\n" (Bfdn.Bounds.bfdn ~n:nn ~k ~d ~delta);
-    Printf.printf "CTE comparison bound: %.0f\n" (Bfdn.Bounds.cte ~n:nn ~k ~d);
-    (match registry with
-    | Some m -> print_string (Sink.dashboard ~title:(algo_name ^ " metrics") m)
-    | None -> ());
-    if result.hit_round_limit then exit 1
+        Scenario.save ~path:file spec;
+        Printf.printf "spec written to %s\n" file
+    | None ->
+        (match dump_tree with
+        | Some file ->
+            let oc = open_out file in
+            output_string oc (Bfdn_trees.Tree.to_string (Scenario.materialize spec));
+            output_char oc '\n';
+            close_out oc;
+            Printf.printf "instance written to %s\n" file
+        | None -> ());
+        let registry =
+          if spec.Scenario.metrics then Some (Metrics.create ()) else None
+        in
+        let probe =
+          match registry with Some m -> Probe.of_metrics m | None -> Probe.noop
+        in
+        let trace_oc = Option.map open_out trace in
+        let on_round env =
+          (match trace_oc with
+          | Some oc ->
+              Sink.write_jsonl oc (Trace.json_of_frame (Trace.frame_of_env env))
+          | None -> ());
+          if watch then begin
+            print_newline ();
+            print_string (Trace.render_frame env)
+          end
+        in
+        let outcome =
+          match tree_file with
+          | Some file ->
+              let ic = open_in file in
+              let contents = really_input_string ic (in_channel_length ic) in
+              close_in ic;
+              Scenario.run_on_tree ~probe ~on_round spec
+                (Bfdn_trees.Tree.of_string (String.trim contents))
+          | None -> Scenario.run ~probe ~on_round spec
+        in
+        let result = outcome.Scenario.result in
+        (match (trace_oc, trace) with
+        | Some oc, Some path ->
+            close_out oc;
+            Printf.printf "trace written to %s (%d frames)\n" path result.rounds
+        | _ -> ());
+        if smoke then begin
+          Printf.printf "ok %s: rounds=%d explored=%b\n" (Scenario.describe spec)
+            result.rounds result.explored;
+          if not (result.explored && not result.hit_round_limit) then exit 1
+        end
+        else begin
+          let nn = outcome.Scenario.n
+          and d = outcome.Scenario.depth
+          and delta = outcome.Scenario.max_degree
+          and k = spec.Scenario.k in
+          Printf.printf "instance: %s — n=%d D=%d Δ=%d (seed %d)\n"
+            (Scenario.instance_label spec) nn d delta spec.Scenario.seed;
+          Format.printf "%s with k=%d: %a@." spec.Scenario.algo k Runner.pp_result
+            result;
+          (match outcome.Scenario.replay_rounds with
+          | Some r -> Printf.printf "frozen-tree replay : %d rounds\n" r
+          | None -> ());
+          Printf.printf "offline lower bound : %.0f\n"
+            (Bfdn.Bounds.offline_lb ~n:nn ~k ~d:(max 1 d));
+          Printf.printf "Theorem 1 guarantee : %.0f\n"
+            (Bfdn.Bounds.bfdn ~n:nn ~k ~d ~delta);
+          Printf.printf "CTE comparison bound: %.0f\n" (Bfdn.Bounds.cte ~n:nn ~k ~d);
+          (match registry with
+          | Some m ->
+              print_string
+                (Sink.dashboard ~title:(spec.Scenario.algo ^ " metrics") m)
+          | None -> ());
+          if result.hit_round_limit then exit 1
+        end
   in
   let term =
     Term.(
-      const action $ family $ algo_name $ n $ depth $ k_arg $ ell $ seed_arg
-      $ trace $ watch $ metrics $ tree_file $ dump_tree)
+      const action $ spec_file $ dump_spec $ smoke $ family $ algo_name $ n
+      $ depth $ params $ k_arg $ seed_arg $ max_rounds $ trace $ watch $ metrics
+      $ tree_file $ dump_tree)
   in
-  Cmd.v (Cmd.info "run" ~doc:"Explore a generated tree with a chosen algorithm.") term
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Explore a tree scenario given by flags or a --spec JSON file.")
+    term
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let action () =
+    let schema_block params =
+      let s = Param.describe_schema params in
+      if s <> "" then print_string s
+    in
+    print_endline "Algorithms:";
+    List.iter
+      (fun (e : Algo_registry.entry) ->
+        let caps =
+          List.filter_map
+            (fun (name, on) -> if on then Some name else None)
+            [
+              ("tree", e.caps.tree);
+              ("adaptive", e.caps.adaptive);
+              ("graph", e.caps.graph);
+              ("async", e.caps.async);
+            ]
+        in
+        let aliases =
+          match e.aliases with
+          | [] -> ""
+          | l -> Printf.sprintf " (alias %s)" (names l)
+        in
+        Printf.printf "  %-14s [%s]%s\n      %s\n" e.name (names caps) aliases
+          e.doc;
+        schema_block e.params)
+      Algo_registry.all;
+    print_endline "\nWorlds:";
+    List.iter
+      (fun (e : World_registry.entry) ->
+        let kind =
+          match e.kind with
+          | World_registry.Tree _ -> "tree"
+          | World_registry.Grid _ -> "grid"
+        in
+        Printf.printf "  %-14s [%s]\n      %s\n" e.name kind e.doc;
+        schema_block e.params)
+      World_registry.worlds;
+    print_endline "\nAdversary policies (adaptive worlds):";
+    List.iter
+      (fun (p : World_registry.policy_entry) ->
+        Printf.printf "  %-14s %s\n" p.p_name p.p_doc;
+        schema_block p.p_params)
+      World_registry.policies;
+    print_endline "\nUrn-game adversaries (game subcommand):";
+    List.iter
+      (fun (name, doc) -> Printf.printf "  %-14s %s\n" name doc)
+      Bfdn.Urn_game.adversaries
+  in
+  Cmd.v
+    (Cmd.info "list"
+       ~doc:
+         "Print every registered algorithm, world and adversary policy with \
+          its parameter schema.")
+    Term.(const action $ const ())
 
 (* ---- sweep ---- *)
 
@@ -167,14 +360,14 @@ let sweep_cmd =
   let families_arg =
     comma_list ~docv:"FAMILIES" ~default:"random,comb,trap"
       ~doc:
-        (Printf.sprintf "Comma-separated tree families (of: %s)."
-           (String.concat ", " Tree_gen.families))
+        (Printf.sprintf "Comma-separated tree worlds (of: %s)."
+           (names World_registry.tree_names))
   in
   let algos_arg =
     comma_list ~docv:"ALGOS" ~default:"bfdn,cte"
       ~doc:
         (Printf.sprintf "Comma-separated algorithms (of: %s)."
-           (String.concat ", " Job.algos))
+           (names Algo_registry.tree_names))
   in
   let ks_arg =
     comma_list ~docv:"KS" ~default:"1,8,64" ~doc:"Comma-separated robot counts."
@@ -221,6 +414,25 @@ let sweep_cmd =
           | _ -> failwith ("bad robot count: " ^ s))
         (split_csv ks)
     in
+    (* Bad names are warned about here but still swept: the engine contains
+       each failing job as an Error result, so the sweep reports per-cell
+       warnings and exits 1 instead of aborting the whole batch. *)
+    let algos = split_csv algos in
+    List.iter
+      (fun a ->
+        match Algo_registry.find a with
+        | Some e when e.caps.tree && e.make <> None -> ()
+        | _ ->
+            Printf.eprintf "warning: unknown algorithm %S (of: %s)\n" a
+              (names Algo_registry.tree_names))
+      algos;
+    let families = split_csv families in
+    List.iter
+      (fun f ->
+        if not (List.mem f World_registry.tree_names) then
+          Printf.eprintf "warning: unknown tree world %S (of: %s)\n" f
+            (names World_registry.tree_names))
+      families;
     let specs =
       List.concat_map
         (fun family ->
@@ -232,8 +444,8 @@ let sweep_cmd =
                       Job.make ~algo ~k ~seed:(seed + r)
                         (Job.Generated { family; n; depth_hint = depth })))
                 ks)
-            (split_csv algos))
-        (split_csv families)
+            algos)
+        families
     in
     let total = List.length specs in
     Printf.eprintf "sweep: %d jobs on %d worker(s) (%d core(s))\n%!" total jobs
@@ -302,9 +514,7 @@ let sweep_cmd =
               let o = List.hd outcomes in
               Table.add_row t
                 [
-                  (match job.instance with
-                  | Job.Generated { family; _ } -> family
-                  | Job.Adversarial { policy; _ } -> "adv:" ^ policy);
+                  Scenario.instance_label job;
                   job.algo; Table.fint job.k;
                   Table.fint (Array.length rounds); Table.fint o.n;
                   Table.fint o.depth; Table.ffloat ~decimals:0 s.p50;
@@ -358,27 +568,22 @@ let sweep_cmd =
 (* ---- game ---- *)
 
 let game_cmd =
+  let module U = Bfdn.Urn_game in
   let delta =
     Arg.(value & opt int 0 & info [ "delta" ] ~docv:"DELTA" ~doc:"Urn threshold Δ (default: k).")
   in
-  let adversaries = [ "greedy"; "fresh-first"; "random" ] in
   let adversary =
     Arg.(
       value
-      & opt (enum (List.map (fun a -> (a, a)) adversaries)) "greedy"
+      & opt (enum (List.map (fun (a, _) -> (a, a)) U.adversaries)) "greedy"
       & info [ "adversary" ] ~docv:"ADV"
-          ~doc:(Printf.sprintf "Adversary: %s." (String.concat ", " adversaries)))
+          ~doc:
+            (Printf.sprintf "Adversary: %s."
+               (names (List.map fst U.adversaries))))
   in
   let action k delta adversary seed =
-    let module U = Bfdn.Urn_game in
     let delta = if delta <= 0 then k else delta in
-    let adv =
-      match adversary with
-      | "greedy" -> U.adversary_greedy
-      | "fresh-first" -> U.adversary_fresh_first
-      | "random" -> U.adversary_random (Rng.create seed)
-      | _ -> assert false
-    in
+    let adv = U.adversary_of_name ~rng:(Rng.create seed) adversary in
     let steps = U.play (U.create ~delta ~k) adv U.player_least_loaded in
     Printf.printf "k=%d Δ=%d adversary=%s: game over after %d steps\n" k delta adversary steps;
     Printf.printf "optimal adversary (DP): %d steps\n" (U.dp_value ~delta ~k);
@@ -436,20 +641,23 @@ let bounds_cmd =
 (* ---- adversary ---- *)
 
 let adversary_cmd =
-  let module Adversary = Bfdn_sim.Adversary in
-  let policies = [ "thick-comb"; "corridor"; "bomb"; "miser"; "random" ] in
   let policy_name =
     Arg.(
       value
-      & opt (enum (List.map (fun p -> (p, p)) policies)) "thick-comb"
+      & opt (enum World_registry.cli_policy_choices) "thick-comb"
       & info [ "policy" ] ~docv:"POLICY"
-          ~doc:(Printf.sprintf "Adversary policy: %s." (String.concat ", " policies)))
+          ~doc:
+            (Printf.sprintf "Adversary policy: %s."
+               (names World_registry.policy_names)))
   in
   let algo_name =
     Arg.(
       value
-      & opt (enum [ ("bfdn", "bfdn"); ("cte", "cte") ]) "bfdn"
-      & info [ "algo" ] ~docv:"ALGO" ~doc:"Explorer: bfdn or cte.")
+      & opt (enum Algo_registry.adaptive_cli_choices) "bfdn"
+      & info [ "algo" ] ~docv:"ALGO"
+          ~doc:
+            (Printf.sprintf "Explorer: %s."
+               (names Algo_registry.adaptive_names)))
   in
   let capacity =
     Arg.(value & opt int 3000 & info [ "capacity" ] ~docv:"N" ~doc:"Node budget.")
@@ -458,32 +666,24 @@ let adversary_cmd =
     Arg.(value & opt int 200 & info [ "depth-budget" ] ~docv:"D" ~doc:"Depth budget.")
   in
   let action k policy_name algo_name capacity depth_budget seed =
-    let adv =
-      match policy_name with
-      | "thick-comb" -> Adversary.make_rec ~capacity ~depth_budget Adversary.thick_comb
-      | "corridor" ->
-          Adversary.make ~capacity ~depth_budget (Adversary.corridor_crowds ~threshold:2)
-      | "bomb" -> Adversary.make ~capacity ~depth_budget Adversary.greedy_widest
-      | "miser" -> Adversary.make ~capacity ~depth_budget Adversary.miser
-      | "random" ->
-          Adversary.make ~capacity ~depth_budget
-            (Adversary.random_policy (Rng.create seed) ~max_children:3)
-      | _ -> assert false
+    let spec =
+      Scenario.make ~algo:algo_name ~k ~seed
+        (Scenario.adversarial ~policy:policy_name ~capacity
+           ~depth_budget)
     in
-    let env = Env.of_world (Adversary.world adv) ~k in
-    let make_algo env =
-      if algo_name = "bfdn" then Bfdn.Bfdn_algo.algo (Bfdn.Bfdn_algo.make env)
-      else Bfdn_baselines.Cte.make env
+    let o = Scenario.run spec in
+    Format.printf "%s vs %s adversary: %a@." algo_name policy_name
+      Runner.pp_result o.Scenario.result;
+    Printf.printf "frozen instance: n=%d D=%d Δ=%d\n" o.Scenario.n
+      o.Scenario.depth o.Scenario.max_degree;
+    (match o.Scenario.replay_rounds with
+    | Some r -> Printf.printf "frozen-tree replay : %d rounds\n" r
+    | None -> ());
+    let lb =
+      Bfdn.Bounds.offline_lb ~n:o.Scenario.n ~k ~d:(max 1 o.Scenario.depth)
     in
-    let r = Runner.run (make_algo env) env in
-    let tree = Adversary.frozen adv in
-    let stats = Bfdn_trees.Tree_stats.compute tree in
-    Format.printf "%s vs %s adversary: %a@." algo_name policy_name Runner.pp_result r;
-    Format.printf "frozen instance: %a@." Bfdn_trees.Tree_stats.pp stats;
-    Printf.printf "offline lower bound: %.0f (ratio %.2f)\n"
-      (Bfdn.Bounds.offline_lb ~n:stats.n ~k ~d:(max 1 stats.depth))
-      (float_of_int r.rounds
-      /. Bfdn.Bounds.offline_lb ~n:stats.n ~k ~d:(max 1 stats.depth))
+    Printf.printf "offline lower bound: %.0f (ratio %.2f)\n" lb
+      (float_of_int o.Scenario.result.rounds /. lb)
   in
   let term =
     Term.(const action $ k_arg $ policy_name $ algo_name $ capacity $ depth_budget $ seed_arg)
@@ -503,9 +703,19 @@ let grid_cmd =
   let action k width height obstacles seed =
     let module Grid = Bfdn_graphs.Grid in
     let module Genv = Bfdn_graphs.Graph_env in
-    let rng = Rng.create seed in
-    let spec = Grid.random_spec ~rng ~width ~height ~obstacle_count:obstacles ~max_side:(max 2 (width / 7)) in
-    let grid = Grid.make spec in
+    let grid =
+      let params =
+        [
+          ("height", Param.Int height);
+          ("obstacles", Param.Int obstacles);
+          ("width", Param.Int width);
+        ]
+      in
+      match World_registry.find "grid" with
+      | Some { World_registry.kind = World_registry.Grid build; _ } ->
+          build { World_registry.rng = Rng.create seed; params }
+      | _ -> failwith "grid world missing from the registry"
+    in
     print_string (Grid.render grid);
     let g = Grid.graph grid in
     let env = Genv.create g ~origin:(Grid.origin grid) ~k in
@@ -526,4 +736,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; sweep_cmd; game_cmd; regions_cmd; grid_cmd; adversary_cmd; bounds_cmd ]))
+          [
+            run_cmd; sweep_cmd; list_cmd; game_cmd; regions_cmd; grid_cmd;
+            adversary_cmd; bounds_cmd;
+          ]))

@@ -112,6 +112,20 @@ let adversary_random rng b =
   Array.iteri (fun i l -> if l > 0 then nonempty := i :: !nonempty) b.loads;
   match !nonempty with [] -> None | xs -> Some (Rng.pick rng (Array.of_list xs))
 
+let adversaries =
+  [
+    ("greedy", "the optimal Lemma 4 shape: repeat non-virgin urns first");
+    ("fresh-first", "always burns a virgin urn when possible (anti-greedy)");
+    ("random", "uniform among non-empty urns");
+  ]
+
+let adversary_of_name ~rng name =
+  match name with
+  | "greedy" -> adversary_greedy
+  | "fresh-first" -> adversary_fresh_first
+  | "random" -> adversary_random rng
+  | other -> invalid_arg ("Urn_game.adversary_of_name: unknown adversary " ^ other)
+
 let bound ~delta ~k =
   let kf = float_of_int k in
   (kf *. Float.min (Mathx.log_nat delta) (Mathx.log_nat k)) +. (2.0 *. kf)

@@ -65,6 +65,14 @@ val adversary_fresh_first : adversary
 
 val adversary_random : Bfdn_util.Rng.t -> adversary
 
+val adversaries : (string * string) list
+(** [(name, doc)] for every named adversary strategy — the dispatch
+    table behind the CLI's [game --adversary] enum. *)
+
+val adversary_of_name : rng:Bfdn_util.Rng.t -> string -> adversary
+(** Resolve a name from {!adversaries}; [rng] is consumed only by the
+    randomized strategy. @raise Invalid_argument on an unknown name. *)
+
 (** {2 Play} *)
 
 val step : board -> adversary -> player -> (int * int) option

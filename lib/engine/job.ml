@@ -1,103 +1,39 @@
-module Env = Bfdn_sim.Env
-module Runner = Bfdn_sim.Runner
-module Adversary = Bfdn_sim.Adversary
-module Rng = Bfdn_util.Rng
+module Scenario = Bfdn_scenario.Scenario
 
 type instance =
   | Generated of { family : string; n : int; depth_hint : int }
   | Adversarial of { policy : string; capacity : int; depth_budget : int }
 
-type t = { instance : instance; algo : string; k : int; seed : int }
+type t = Scenario.t = {
+  instance : Scenario.instance;
+  algo : string;
+  algo_params : Bfdn_scenario.Param.binding list;
+  k : int;
+  seed : int;
+  max_rounds : int option;
+  metrics : bool;
+}
 
-type outcome = {
-  result : Runner.result;
+type outcome = Scenario.outcome = {
+  result : Bfdn_sim.Runner.result;
   replay_rounds : int option;
   n : int;
   depth : int;
   max_degree : int;
 }
 
-let algos = [ "bfdn"; "bfdn-wr"; "bfdn-rec"; "cte"; "dfs"; "offline"; "random-walk" ]
-let policies = [ "thick-comb"; "corridor"; "bomb"; "miser"; "random" ]
+let algos = Bfdn_scenario.Algo_registry.tree_names
+let policies = Bfdn_scenario.World_registry.policy_names
 
-let make ?(algo = "bfdn") ?(k = 8) ?(seed = 0) instance =
-  { instance; algo; k; seed }
-
-let describe job =
-  let inst =
-    match job.instance with
-    | Generated { family; n; depth_hint } ->
-        Printf.sprintf "%s(n=%d,depth=%d)" family n depth_hint
-    | Adversarial { policy; capacity; depth_budget } ->
-        Printf.sprintf "adv:%s(cap=%d,depth=%d)" policy capacity depth_budget
-  in
-  Printf.sprintf "%s/%s k=%d seed=%d" inst job.algo job.k job.seed
-
-let equal_outcome (a : outcome) (b : outcome) = a = b
-
-let algo_of_name name ~rng env =
-  match name with
-  | "bfdn" -> Bfdn.Bfdn_algo.algo (Bfdn.Bfdn_algo.make env)
-  | "bfdn-wr" -> Bfdn.Bfdn_planner.algo (Bfdn.Bfdn_planner.make env)
-  | "bfdn-rec" -> Bfdn.Bfdn_rec.algo (Bfdn.Bfdn_rec.make ~ell:2 env)
-  | "cte" -> Bfdn_baselines.Cte.make env
-  | "dfs" -> Bfdn_baselines.Dfs_single.make env
-  | "offline" -> Bfdn_baselines.Offline_split.make env
-  | "random-walk" -> Bfdn_baselines.Random_walk.make ~rng env
-  | other -> invalid_arg ("Job.run: unknown algorithm " ^ other)
-
-let adversary_of_name name ~rng ~capacity ~depth_budget =
-  match name with
-  | "thick-comb" -> Adversary.make_rec ~capacity ~depth_budget Adversary.thick_comb
-  | "corridor" ->
-      Adversary.make ~capacity ~depth_budget (Adversary.corridor_crowds ~threshold:2)
-  | "bomb" -> Adversary.make ~capacity ~depth_budget Adversary.greedy_widest
-  | "miser" -> Adversary.make ~capacity ~depth_budget Adversary.miser
-  | "random" ->
-      Adversary.make ~capacity ~depth_budget (Adversary.random_policy rng ~max_children:3)
-  | other -> invalid_arg ("Job.run: unknown adversary policy " ^ other)
-
-(* Fixed split indices for the seed: instance stream, algorithm stream.
-   The replay of an adversarial job re-derives the algorithm stream from
-   scratch so the re-run sees exactly the stream the adaptive run saw. *)
-let instance_stream root = Rng.split root 0
-let algo_stream root = Rng.split root 1
-
-let run job =
-  let root = Rng.create job.seed in
-  match job.instance with
+let scenario_instance = function
   | Generated { family; n; depth_hint } ->
-      let tree =
-        Bfdn_trees.Tree_gen.of_family family ~rng:(instance_stream root) ~n
-          ~depth_hint
-      in
-      let env = Env.create tree ~k:job.k in
-      let algo = algo_of_name job.algo ~rng:(algo_stream root) env in
-      let result = Runner.run algo env in
-      {
-        result;
-        replay_rounds = None;
-        n = Env.oracle_n env;
-        depth = Env.oracle_depth env;
-        max_degree = Env.oracle_max_degree env;
-      }
+      Scenario.generated ~family ~n ~depth_hint
   | Adversarial { policy; capacity; depth_budget } ->
-      let adv =
-        adversary_of_name policy ~rng:(instance_stream root) ~capacity
-          ~depth_budget
-      in
-      let env = Env.of_world (Adversary.world adv) ~k:job.k in
-      let algo = algo_of_name job.algo ~rng:(algo_stream root) env in
-      let result = Runner.run algo env in
-      let tree = Adversary.frozen adv in
-      let stats = Bfdn_trees.Tree_stats.compute tree in
-      let env2 = Env.create tree ~k:job.k in
-      let algo2 = algo_of_name job.algo ~rng:(algo_stream root) env2 in
-      let replay = Runner.run algo2 env2 in
-      {
-        result;
-        replay_rounds = Some replay.rounds;
-        n = stats.n;
-        depth = stats.depth;
-        max_degree = stats.max_degree;
-      }
+      Scenario.adversarial ~policy ~capacity ~depth_budget
+
+let make ?algo ?k ?seed instance =
+  Scenario.make ?algo ?k ?seed (scenario_instance instance)
+
+let describe = Scenario.describe
+let equal_outcome = Scenario.equal_outcome
+let run job = Scenario.run job

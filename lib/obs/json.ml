@@ -29,10 +29,17 @@ let escape s =
    notation already drops it, which is fine for JSON. *)
 let float_to_string f =
   let s = Printf.sprintf "%.15g" f in
-  if float_of_string s = f then s
-  else
-    let s = Printf.sprintf "%.16g" f in
-    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+  let s =
+    if float_of_string s = f then s
+    else
+      let s = Printf.sprintf "%.16g" f in
+      if float_of_string s = f then s else Printf.sprintf "%.17g" f
+  in
+  (* Keep integral floats float-shaped on the wire ("250.0", not "250"):
+     the parser types bare integers as Int, and the codec promises
+     constructor-for-constructor round-trips. *)
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+  else s ^ ".0"
 
 let rec emit buf = function
   | Null -> Buffer.add_string buf "null"
@@ -68,3 +75,193 @@ let to_string j =
   let buf = Buffer.create 256 in
   emit buf j;
   Buffer.contents buf
+
+(* ---- parser ----
+
+   Recursive descent over the whole input string. Numbers without a
+   fraction or exponent part decode as [Int] (when they fit in an OCaml
+   int), everything else as [Float] — the inverse of [emit], so values
+   written by this module round-trip constructor-for-constructor. *)
+
+exception Parse of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected '%s'" lit)
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match s.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> fail "bad hex digit in \\u escape"
+      in
+      v := (!v * 16) + d;
+      incr pos
+    done;
+    !v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          incr pos;
+          if !pos >= n then fail "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char buf '"'; incr pos
+          | '\\' -> Buffer.add_char buf '\\'; incr pos
+          | '/' -> Buffer.add_char buf '/'; incr pos
+          | 'b' -> Buffer.add_char buf '\b'; incr pos
+          | 'f' -> Buffer.add_char buf '\012'; incr pos
+          | 'n' -> Buffer.add_char buf '\n'; incr pos
+          | 'r' -> Buffer.add_char buf '\r'; incr pos
+          | 't' -> Buffer.add_char buf '\t'; incr pos
+          | 'u' ->
+              incr pos;
+              let cp = hex4 () in
+              (* UTF-8 encode; [escape] only ever emits \u for control
+                 characters, so the single-unit cases cover round-trips.
+                 Surrogate pairs decode as two separate 3-byte units. *)
+              if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+              else if cp < 0x800 then begin
+                Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+                Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+              end
+              else begin
+                Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+                Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+                Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+              end
+          | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      incr pos
+    done;
+    let body = String.sub s start (!pos - start) in
+    let has_frac =
+      String.exists (function '.' | 'e' | 'E' -> true | _ -> false) body
+    in
+    if has_frac then
+      match float_of_string_opt body with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "bad number '%s'" body)
+    else
+      match int_of_string_opt body with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt body with
+          | Some f -> Float f
+          | None -> fail (Printf.sprintf "bad number '%s'" body))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let kvs = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            kvs := (k, v) :: !kvs;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos; members ()
+            | Some '}' -> incr pos
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ();
+          Obj (List.rev !kvs)
+        end
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          List []
+        end
+        else begin
+          let xs = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            xs := v :: !xs;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos; elements ()
+            | Some ']' -> incr pos
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ();
+          List (List.rev !xs)
+        end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character '%c'" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse msg -> Error msg
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None

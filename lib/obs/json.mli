@@ -1,8 +1,8 @@
-(** Minimal JSON emitter (no parser) shared by the report and trace
-    sinks. Non-finite floats are emitted as [null] to keep the output
-    standard JSON; finite floats use a shortest-round-trip rendering, so
-    every value written to a BENCH_*.json or trace line parses back to
-    exactly the same double. *)
+(** Minimal JSON emitter and parser shared by the report and trace
+    sinks and by the {!Bfdn_scenario} spec files. Non-finite floats are
+    emitted as [null] to keep the output standard JSON; finite floats
+    use a shortest-round-trip rendering, so every value written to a
+    BENCH_*.json or trace line parses back to exactly the same double. *)
 
 type t =
   | Null
@@ -25,3 +25,14 @@ val float_to_string : float -> string
 
 val escape : string -> string
 (** JSON string-body escaping (quotes not included). *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document (standard JSON; trailing garbage is
+    an error). Numbers without a fraction or exponent part decode as
+    [Int], everything else as [Float] — the inverse of {!to_string}, so
+    values emitted by this module round-trip constructor-for-constructor
+    (except non-finite floats, which were emitted as [null]). *)
+
+val member : string -> t -> t option
+(** [member key j] is the value bound to [key] when [j] is an [Obj]
+    containing it, [None] otherwise. *)

@@ -1,0 +1,237 @@
+module Env = Bfdn_sim.Env
+module Runner = Bfdn_sim.Runner
+module Rng = Bfdn_util.Rng
+module Probe = Bfdn_obs.Probe
+
+type caps = { tree : bool; adaptive : bool; graph : bool; async : bool }
+
+type ctx = {
+  env : Env.t;
+  rng : Rng.t;
+  probe : Probe.t;
+  params : Param.binding list;
+}
+
+type entry = {
+  name : string;
+  aliases : string list;
+  doc : string;
+  params : Param.spec list;
+  caps : caps;
+  make : (ctx -> Runner.algo) option;
+}
+
+let sync_tree = { tree = true; adaptive = true; graph = false; async = false }
+
+(* BFDN's anchor-selection policy, exposed as a string parameter so the
+   ablation variants are expressible in a serialized spec. *)
+let policy_of_string ~rng = function
+  | "least-loaded" -> Bfdn.Bfdn_algo.Least_loaded
+  | "first-open" -> Bfdn.Bfdn_algo.First_open
+  | "random-open" -> Bfdn.Bfdn_algo.Random_open rng
+  | other ->
+      invalid_arg
+        ("Algo_registry: unknown anchor policy " ^ other
+       ^ " (expected least-loaded, first-open or random-open)")
+
+let bfdn_params =
+  [
+    {
+      Param.key = "policy";
+      doc = "anchor policy: least-loaded, first-open or random-open";
+      default = Param.String "least-loaded";
+    };
+    {
+      Param.key = "shortcut";
+      doc = "re-anchor through the LCA when a DN excursion stalls (ablation)";
+      default = Param.Bool false;
+    };
+  ]
+
+let rec_params =
+  [
+    {
+      Param.key = "ell";
+      doc = "recursion level l of BFDN_l (Theorem 10)";
+      default = Param.Int 2;
+    };
+  ]
+
+let all =
+  [
+    {
+      name = "bfdn";
+      aliases = [];
+      doc =
+        "Breadth-First Depth-Next, Algorithm 1 — 2n/k + D^2(min(log k, log \
+         d)+3) rounds (Theorem 1)";
+      params = bfdn_params;
+      caps = sync_tree;
+      make =
+        Some
+          (fun c ->
+            let schema = bfdn_params in
+            let policy =
+              policy_of_string ~rng:c.rng
+                (Param.get_string ~schema c.params "policy")
+            in
+            let shortcut = Param.get_bool ~schema c.params "shortcut" in
+            Bfdn.Bfdn_algo.algo
+              (Bfdn.Bfdn_algo.make ~policy ~shortcut ~probe:c.probe c.env));
+    };
+    {
+      name = "bfdn-wr";
+      aliases = [ "bfdn-planner" ];
+      doc =
+        "BFDN in the write-read/restricted-memory model, Algorithm 2 — \
+         root-planner plus per-node whiteboards (Proposition 6)";
+      params = [];
+      caps = sync_tree;
+      make =
+        Some (fun c -> Bfdn.Bfdn_planner.algo (Bfdn.Bfdn_planner.make c.env));
+    };
+    {
+      name = "bfdn-rec";
+      aliases = [];
+      doc =
+        "recursive BFDN_l — divide-depth composition, 4n/k^(1/l) + O(D^(1+1/l)) \
+         rounds (Theorem 10)";
+      params = rec_params;
+      caps = sync_tree;
+      make =
+        Some
+          (fun c ->
+            let ell = Param.get_int ~schema:rec_params c.params "ell" in
+            Bfdn.Bfdn_rec.algo (Bfdn.Bfdn_rec.make ~ell c.env));
+    };
+    {
+      name = "cte";
+      aliases = [];
+      doc =
+        "Collective Tree Exploration of Fraigniaud et al. [10] — O(n/log k + \
+         D) rounds, proportional branch splitting";
+      params = [];
+      caps = sync_tree;
+      make = Some (fun c -> Bfdn_baselines.Cte.make ~probe:c.probe c.env);
+    };
+    {
+      name = "cte-writeread";
+      aliases = [];
+      doc =
+        "CTE with whiteboard-only communication — completion marks propagate \
+         only as fast as robots carry them";
+      params = [];
+      caps = sync_tree;
+      make = Some (fun c -> Bfdn_baselines.Cte_writeread.make c.env);
+    };
+    {
+      name = "dfs";
+      aliases = [];
+      doc = "single-robot depth-first search — the 2(n-1) baseline";
+      params = [];
+      caps = sync_tree;
+      make = Some (fun c -> Bfdn_baselines.Dfs_single.make c.env);
+    };
+    {
+      name = "offline";
+      aliases = [];
+      doc =
+        "offline Euler-tour split — 2(n/k + D) rounds with full knowledge of \
+         the tree";
+      params = [];
+      caps = { sync_tree with adaptive = false };
+      (* Reads the hidden tree up front (oracle), so it is meaningless
+         against a lazily materialized adversarial world. *)
+      make = Some (fun c -> Bfdn_baselines.Offline_split.make c.env);
+    };
+    {
+      name = "random-walk";
+      aliases = [];
+      doc = "independent uniform random walks — naive randomized baseline";
+      params = [];
+      caps = sync_tree;
+      make = Some (fun c -> Bfdn_baselines.Random_walk.make ~rng:c.rng c.env);
+    };
+    {
+      name = "bfdn-graph";
+      aliases = [];
+      doc =
+        "BFDN on non-tree graphs with a distance oracle (Proposition 9) — \
+         driven by Bfdn.Bfdn_graph / the grid subcommand";
+      params = [];
+      caps = { tree = false; adaptive = false; graph = true; async = false };
+      make = None;
+    };
+    {
+      name = "bfdn-async";
+      aliases = [];
+      doc =
+        "BFDN under the continuous-time relaxation (Remark 8) — driven by \
+         Bfdn.Bfdn_async on Bfdn_sim.Async_env";
+      params = [];
+      caps = { tree = false; adaptive = false; graph = false; async = true };
+      make = None;
+    };
+  ]
+
+let () =
+  (* Canonical names and aliases must never collide. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun n ->
+          if Hashtbl.mem seen n then
+            invalid_arg ("Algo_registry: duplicate name " ^ n);
+          Hashtbl.add seen n ())
+        (e.name :: e.aliases))
+    all
+
+let find name =
+  List.find_opt
+    (fun e -> String.equal e.name name || List.mem name e.aliases)
+    all
+
+let names = List.map (fun e -> e.name) all
+
+let tree_names =
+  List.filter_map
+    (fun e -> if e.caps.tree && e.make <> None then Some e.name else None)
+    all
+
+let adaptive_names =
+  List.filter_map
+    (fun e -> if e.caps.adaptive && e.make <> None then Some e.name else None)
+    all
+
+let choices_of filter =
+  List.concat_map
+    (fun e ->
+      if filter e then List.map (fun n -> (n, e.name)) (e.name :: e.aliases)
+      else [])
+    all
+
+let cli_choices = choices_of (fun e -> e.caps.tree && e.make <> None)
+
+let adaptive_cli_choices =
+  choices_of (fun e -> e.caps.adaptive && e.make <> None)
+
+let instantiate ?(probe = Probe.noop) ?rng ?(params = []) name env =
+  match find name with
+  | None -> invalid_arg ("Algo_registry: unknown algorithm " ^ name)
+  | Some e -> (
+      match e.make with
+      | None ->
+          invalid_arg
+            ("Algo_registry: " ^ name
+           ^ " does not run on the synchronous tree environment")
+      | Some make -> (
+          match Param.validate ~schema:e.params params with
+          | Error msg ->
+              invalid_arg
+                (Printf.sprintf "Algo_registry: %s: %s" name msg)
+          | Ok () ->
+              let rng =
+                match rng with Some r -> r | None -> Rng.create 0
+              in
+              make { env; rng; probe; params }))

@@ -1,0 +1,78 @@
+(** The single algorithm-dispatch table of the repository.
+
+    Every exploration-algorithm variant registers a canonical name
+    (plus aliases), a documentation string, a {!Param} schema and a
+    constructor, together with {e capability flags} describing which
+    environments it can drive. The CLI ([bin/explore.ml]), the bench
+    harness and the engine's {!Bfdn_engine.Job} all resolve algorithm
+    names here — none of them carries its own name→constructor match
+    any more, so a variant registered once is reachable everywhere
+    (asserted in [test/test_scenario.ml]). *)
+
+type caps = {
+  tree : bool;
+      (** runs on the synchronous tree environment ({!Bfdn_sim.Env}) *)
+  adaptive : bool;
+      (** online — sound against a lazily materialized adversarial
+          world (no oracle access; implies nothing is read beyond the
+          discovered tree) *)
+  graph : bool;  (** graph variant ({!Bfdn_graphs.Graph_env}) *)
+  async : bool;  (** continuous-time variant ({!Bfdn_sim.Async_env}) *)
+}
+
+type ctx = {
+  env : Bfdn_sim.Env.t;
+  rng : Bfdn_util.Rng.t;
+      (** the scenario's algorithm RNG stream; consumed only by
+          randomized variants *)
+  probe : Bfdn_obs.Probe.t;
+  params : Param.binding list;
+}
+
+type entry = {
+  name : string;
+  aliases : string list;
+  doc : string;
+  params : Param.spec list;
+  caps : caps;
+  make : (ctx -> Bfdn_sim.Runner.algo) option;
+      (** [None] for variants that do not run on {!Bfdn_sim.Env}
+          (graph/async): they are registered for listing and capability
+          reporting, and are driven by their own harnesses. *)
+}
+
+val all : entry list
+(** Registration order; canonical names are unique. *)
+
+val find : string -> entry option
+(** Resolve a canonical name or an alias. *)
+
+val names : string list
+(** All canonical names, registration order. *)
+
+val tree_names : string list
+(** Canonical names runnable on the synchronous tree environment — the
+    [sweep]/[run] vocabulary. *)
+
+val adaptive_names : string list
+(** Canonical names sound against adaptive adversaries — the
+    [adversary] subcommand vocabulary. *)
+
+val cli_choices : (string * string) list
+(** [(token, canonical)] for every tree-runnable name {e and} its
+    aliases: the single source of the CLI's [--algo] enum. *)
+
+val adaptive_cli_choices : (string * string) list
+(** Same, restricted to adaptive-capable algorithms. *)
+
+val instantiate :
+  ?probe:Bfdn_obs.Probe.t ->
+  ?rng:Bfdn_util.Rng.t ->
+  ?params:Param.binding list ->
+  string ->
+  Bfdn_sim.Env.t ->
+  Bfdn_sim.Runner.algo
+(** Construct a named algorithm on an environment. [rng] defaults to a
+    fresh deterministic stream (seed 0) — deterministic algorithms never
+    touch it. @raise Invalid_argument on an unknown name, a non-tree
+    algorithm, or parameters violating the schema. *)

@@ -1,0 +1,361 @@
+module Env = Bfdn_sim.Env
+module Runner = Bfdn_sim.Runner
+module Adversary = Bfdn_sim.Adversary
+module Rng = Bfdn_util.Rng
+module Probe = Bfdn_obs.Probe
+module Json = Bfdn_obs.Json
+
+type instance =
+  | World of { world : string; params : Param.binding list }
+  | Adversarial of { policy : string; params : Param.binding list }
+
+type t = {
+  instance : instance;
+  algo : string;
+  algo_params : Param.binding list;
+  k : int;
+  seed : int;
+  max_rounds : int option;
+  metrics : bool;
+}
+
+type outcome = {
+  result : Runner.result;
+  replay_rounds : int option;
+  n : int;
+  depth : int;
+  max_degree : int;
+}
+
+let canon_instance = function
+  | World { world; params } -> World { world; params = Param.canon params }
+  | Adversarial { policy; params } ->
+      Adversarial { policy; params = Param.canon params }
+
+let make ?(algo = "bfdn") ?(algo_params = []) ?(k = 8) ?(seed = 0) ?max_rounds
+    ?(metrics = false) instance =
+  {
+    instance = canon_instance instance;
+    algo;
+    algo_params = Param.canon algo_params;
+    k;
+    seed;
+    max_rounds;
+    metrics;
+  }
+
+let world ?(params = []) name = World { world = name; params }
+
+let generated ~family ~n ~depth_hint =
+  World
+    {
+      world = family;
+      params = [ ("depth_hint", Param.Int depth_hint); ("n", Param.Int n) ];
+    }
+
+let adversarial ~policy ~capacity ~depth_budget =
+  Adversarial
+    {
+      policy;
+      params =
+        [ ("capacity", Param.Int capacity);
+          ("depth_budget", Param.Int depth_budget);
+        ];
+    }
+
+let instance_label t =
+  match t.instance with
+  | World { world; _ } -> world
+  | Adversarial { policy; _ } -> "adv:" ^ policy
+
+let describe t =
+  let with_params name params =
+    if params = [] then name
+    else Printf.sprintf "%s(%s)" name (Param.bindings_to_string params)
+  in
+  let inst =
+    match t.instance with
+    | World { world; params } -> with_params world params
+    | Adversarial { policy; params } -> with_params ("adv:" ^ policy) params
+  in
+  let cap =
+    match t.max_rounds with
+    | None -> ""
+    | Some m -> Printf.sprintf " max_rounds=%d" m
+  in
+  Printf.sprintf "%s/%s k=%d seed=%d%s" inst
+    (with_params t.algo t.algo_params)
+    t.k t.seed cap
+
+let equal (a : t) (b : t) = a = b
+let equal_outcome (a : outcome) (b : outcome) = a = b
+
+(* ---- validation ---- *)
+
+let ( let* ) = Result.bind
+
+let check_params ~what ~schema params =
+  match Param.validate ~schema params with
+  | Ok () -> Ok ()
+  | Error msg -> Error (Printf.sprintf "%s: %s" what msg)
+
+let validate t =
+  let* entry =
+    match Algo_registry.find t.algo with
+    | None -> Error (Printf.sprintf "unknown algorithm %S" t.algo)
+    | Some e -> Ok e
+  in
+  let* () =
+    match entry.Algo_registry.make with
+    | Some _ when entry.caps.tree -> Ok ()
+    | _ ->
+        Error
+          (Printf.sprintf
+             "algorithm %S does not run on the synchronous tree environment"
+             t.algo)
+  in
+  let* () =
+    check_params
+      ~what:(Printf.sprintf "algorithm %S" t.algo)
+      ~schema:entry.params t.algo_params
+  in
+  let* () =
+    match t.instance with
+    | World { world; params } -> (
+        match World_registry.find world with
+        | None -> Error (Printf.sprintf "unknown world %S" world)
+        | Some e -> (
+            match e.World_registry.kind with
+            | World_registry.Grid _ ->
+                Error
+                  (Printf.sprintf
+                     "world %S is a graph world: scenarios run on trees (use \
+                      the grid subcommand)"
+                     world)
+            | World_registry.Tree _ ->
+                check_params
+                  ~what:(Printf.sprintf "world %S" world)
+                  ~schema:e.params params))
+    | Adversarial { policy; params } -> (
+        match World_registry.find_policy policy with
+        | None -> Error (Printf.sprintf "unknown adversary policy %S" policy)
+        | Some p ->
+            let* () =
+              check_params
+                ~what:(Printf.sprintf "adversary %S" policy)
+                ~schema:p.p_params params
+            in
+            if entry.caps.adaptive then Ok ()
+            else
+              Error
+                (Printf.sprintf
+                   "algorithm %S is not adaptive-capable and cannot face an \
+                    adversarial world"
+                   t.algo))
+  in
+  let* () = if t.k >= 1 then Ok () else Error "k must be >= 1" in
+  match t.max_rounds with
+  | Some m when m < 1 -> Error "max_rounds must be >= 1"
+  | _ -> Ok ()
+
+(* ---- JSON codec ----
+
+   {"schema_version":1,
+    "world":{"name":"comb","params":{"depth_hint":12,"n":500}},   (xor "adversary")
+    "algo":{"name":"bfdn","params":{}},
+    "k":9,"seed":3,"metrics":false}                               (optional "max_rounds")
+
+   Parameter objects are emitted in canonical (sorted) key order and
+   decoded back to canonical bindings, so decode ∘ encode = id. *)
+
+let schema_version = 1
+
+let named name params =
+  Json.Obj [ ("name", Json.String name); ("params", Param.to_json params) ]
+
+let to_json t =
+  let instance_field =
+    match t.instance with
+    | World { world; params } -> ("world", named world params)
+    | Adversarial { policy; params } -> ("adversary", named policy params)
+  in
+  let tail =
+    (match t.max_rounds with
+    | None -> []
+    | Some m -> [ ("max_rounds", Json.Int m) ])
+    @ [ ("metrics", Json.Bool t.metrics) ]
+  in
+  Json.Obj
+    ([ ("schema_version", Json.Int schema_version);
+       instance_field;
+       ("algo", named t.algo t.algo_params);
+       ("k", Json.Int t.k);
+       ("seed", Json.Int t.seed);
+     ]
+    @ tail)
+
+let int_field j key =
+  match Json.member key j with
+  | Some (Json.Int i) -> Ok i
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" key)
+  | None -> Error (Printf.sprintf "missing field %S" key)
+
+let named_of_json ~what j =
+  match Json.member "name" j with
+  | Some (Json.String name) -> (
+      match Json.member "params" j with
+      | None -> Ok (name, [])
+      | Some pj -> (
+          match Param.of_json pj with
+          | Ok params -> Ok (name, params)
+          | Error msg -> Error (Printf.sprintf "%s params: %s" what msg)))
+  | Some _ -> Error (Printf.sprintf "%s: \"name\" must be a string" what)
+  | None -> Error (Printf.sprintf "%s: missing \"name\"" what)
+
+let of_json j =
+  let* version = int_field j "schema_version" in
+  let* () =
+    if version = schema_version then Ok ()
+    else Error (Printf.sprintf "unsupported schema_version %d" version)
+  in
+  let* instance =
+    match (Json.member "world" j, Json.member "adversary" j) with
+    | Some _, Some _ -> Error "spec has both \"world\" and \"adversary\""
+    | None, None -> Error "spec needs a \"world\" or an \"adversary\""
+    | Some wj, None ->
+        let* world, params = named_of_json ~what:"world" wj in
+        Ok (World { world; params })
+    | None, Some aj ->
+        let* policy, params = named_of_json ~what:"adversary" aj in
+        Ok (Adversarial { policy; params })
+  in
+  let* algo, algo_params =
+    match Json.member "algo" j with
+    | None -> Error "missing field \"algo\""
+    | Some aj -> named_of_json ~what:"algo" aj
+  in
+  let* k = int_field j "k" in
+  let* seed = int_field j "seed" in
+  let* max_rounds =
+    match Json.member "max_rounds" j with
+    | None -> Ok None
+    | Some (Json.Int m) -> Ok (Some m)
+    | Some _ -> Error "field \"max_rounds\" must be an integer"
+  in
+  let* metrics =
+    match Json.member "metrics" j with
+    | None -> Ok false
+    | Some (Json.Bool b) -> Ok b
+    | Some _ -> Error "field \"metrics\" must be a boolean"
+  in
+  Ok { instance; algo; algo_params; k; seed; max_rounds; metrics }
+
+let to_string t = Json.to_string (to_json t)
+
+let of_string s =
+  let* j =
+    match Json.of_string s with
+    | Ok j -> Ok j
+    | Error msg -> Error ("spec is not valid JSON: " ^ msg)
+  in
+  let* t = of_json j in
+  let* () = validate t in
+  Ok t
+
+let save ~path t =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string t);
+      Out_channel.output_char oc '\n')
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+      match of_string (String.trim contents) with
+      | Ok t -> Ok t
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+(* ---- execution ----
+
+   The seed derivation is load-bearing: split index 0 is the instance
+   stream, split index 1 the algorithm stream, and an adversarial replay
+   re-derives the algorithm stream from scratch so the frozen-tree re-run
+   sees exactly the stream the adaptive run saw. This matches the engine's
+   historical Job.run wiring bit for bit (asserted by the golden
+   equivalence suite in test/test_scenario.ml). *)
+
+let instance_stream root = Rng.split root 0
+let algo_stream root = Rng.split root 1
+
+let checked t =
+  match validate t with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Scenario: " ^ msg ^ " in " ^ describe t)
+
+let instantiate ~probe ~rng t env =
+  Algo_registry.instantiate ~probe ~rng ~params:t.algo_params t.algo env
+
+let run ?(probe = Probe.noop) ?on_round t =
+  checked t;
+  let root = Rng.create t.seed in
+  match t.instance with
+  | World { world; params } ->
+      let tree =
+        World_registry.build_tree ~rng:(instance_stream root) ~params world
+      in
+      let env = Env.create tree ~k:t.k in
+      let algo = instantiate ~probe ~rng:(algo_stream root) t env in
+      let result = Runner.run ?max_rounds:t.max_rounds ?on_round ~probe algo env in
+      {
+        result;
+        replay_rounds = None;
+        n = Env.oracle_n env;
+        depth = Env.oracle_depth env;
+        max_degree = Env.oracle_max_degree env;
+      }
+  | Adversarial { policy; params } ->
+      let adv =
+        World_registry.build_adversary ~rng:(instance_stream root) ~params
+          policy
+      in
+      let env = Env.of_world (Adversary.world adv) ~k:t.k in
+      let algo = instantiate ~probe ~rng:(algo_stream root) t env in
+      let result = Runner.run ?max_rounds:t.max_rounds ?on_round ~probe algo env in
+      let tree = Adversary.frozen adv in
+      let stats = Bfdn_trees.Tree_stats.compute tree in
+      let env2 = Env.create tree ~k:t.k in
+      let algo2 = instantiate ~probe:Probe.noop ~rng:(algo_stream root) t env2 in
+      let replay = Runner.run ?max_rounds:t.max_rounds algo2 env2 in
+      {
+        result;
+        replay_rounds = Some replay.rounds;
+        n = stats.n;
+        depth = stats.depth;
+        max_degree = stats.max_degree;
+      }
+
+let materialize t =
+  checked t;
+  match t.instance with
+  | Adversarial _ ->
+      invalid_arg
+        ("Scenario.materialize: adversarial worlds only exist after a run: "
+       ^ describe t)
+  | World { world; params } ->
+      World_registry.build_tree
+        ~rng:(instance_stream (Rng.create t.seed))
+        ~params world
+
+let run_on_tree ?(probe = Probe.noop) ?on_round t tree =
+  checked t;
+  let root = Rng.create t.seed in
+  let env = Env.create tree ~k:t.k in
+  let algo = instantiate ~probe ~rng:(algo_stream root) t env in
+  let result = Runner.run ?max_rounds:t.max_rounds ?on_round ~probe algo env in
+  {
+    result;
+    replay_rounds = None;
+    n = Env.oracle_n env;
+    depth = Env.oracle_depth env;
+    max_degree = Env.oracle_max_degree env;
+  }

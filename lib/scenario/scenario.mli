@@ -1,0 +1,126 @@
+(** Declarative, serializable run specifications.
+
+    A scenario names everything needed to rebuild and execute one
+    exploration run — a world (or adaptive adversary policy) with
+    parameters, an algorithm with parameters, the robot count, a seed,
+    an optional round cap and a probe configuration. [run] is a pure
+    function of the spec: two executions of the same spec, on any
+    machine, in any engine worker, produce identical outcomes. Specs
+    round-trip through JSON ([to_string] / [of_string]), which is what
+    makes batch jobs, sweep reports and `--spec` files replayable
+    evidence rather than closures.
+
+    Dispatch goes through {!Algo_registry} and {!World_registry}
+    exclusively; this module contains no algorithm or family names. *)
+
+type instance =
+  | World of { world : string; params : Param.binding list }
+      (** a {!World_registry} tree world *)
+  | Adversarial of { policy : string; params : Param.binding list }
+      (** a lazily materialized world grown online by a
+          {!World_registry} policy; the frozen tree is replayed after
+          the adaptive run *)
+
+type t = {
+  instance : instance;
+  algo : string;  (** an {!Algo_registry} name or alias *)
+  algo_params : Param.binding list;
+  k : int;  (** robot count *)
+  seed : int;
+      (** split into independent instance and algorithm RNG streams *)
+  max_rounds : int option;
+      (** round cap; [None] = the Section 2.1 termination bound *)
+  metrics : bool;
+      (** advisory probe configuration: harnesses honouring it (the
+          CLI) attach a metrics registry and print a dashboard; probes
+          never alter results *)
+}
+
+type outcome = {
+  result : Bfdn_sim.Runner.result;
+  replay_rounds : int option;
+      (** adversarial scenarios only: rounds of a re-run on the frozen
+          tree (equal to [result.rounds] for deterministic algorithms) *)
+  n : int;  (** node count of the (frozen) instance *)
+  depth : int;
+  max_degree : int;
+}
+
+val make :
+  ?algo:string ->
+  ?algo_params:Param.binding list ->
+  ?k:int ->
+  ?seed:int ->
+  ?max_rounds:int ->
+  ?metrics:bool ->
+  instance ->
+  t
+(** Defaults: [algo="bfdn"], [k=8], [seed=0], no round cap, no metrics.
+    Parameter bindings are canonicalized (sorted). *)
+
+val world : ?params:Param.binding list -> string -> instance
+
+val generated : family:string -> n:int -> depth_hint:int -> instance
+(** The classic (family, n, depth_hint) tree instance. *)
+
+val adversarial : policy:string -> capacity:int -> depth_budget:int -> instance
+
+val instance_label : t -> string
+(** ["comb"] / ["adv:thick-comb"] — the row label used by sweep tables. *)
+
+val describe : t -> string
+(** One-line human-readable rendering, used in labels and error text. *)
+
+val equal : t -> t -> bool
+
+val equal_outcome : outcome -> outcome -> bool
+(** Structural equality; the whole record is immutable scalar data, so
+    this is exactly "bit-for-bit identical run". *)
+
+val validate : t -> (unit, string) result
+(** Check every name against the registries, every parameter against
+    its schema, capability compatibility (an oracle-reading algorithm
+    cannot face an adaptive adversary) and the scalar ranges. *)
+
+(** {2 JSON codec} *)
+
+val to_json : t -> Bfdn_obs.Json.t
+val of_json : Bfdn_obs.Json.t -> (t, string) result
+
+val to_string : t -> string
+(** Compact single-line JSON. [of_string (to_string t) = Ok t]. *)
+
+val of_string : string -> (t, string) result
+(** Parses and {!validate}s. *)
+
+val save : path:string -> t -> unit
+
+val load : string -> (t, string) result
+
+(** {2 Execution} *)
+
+val run :
+  ?probe:Bfdn_obs.Probe.t -> ?on_round:(Bfdn_sim.Env.t -> unit) -> t -> outcome
+(** Execute the spec: derive the instance and algorithm RNG streams
+    from [seed] ([Rng.split] indices 0 and 1), build the environment,
+    construct the algorithm through {!Algo_registry} and drive
+    {!Bfdn_sim.Runner.run}. Adversarial scenarios additionally re-run
+    the algorithm on the frozen tree and report [replay_rounds].
+    [probe]/[on_round] observe the run without altering it.
+    @raise Invalid_argument when {!validate} fails. *)
+
+val materialize : t -> Bfdn_trees.Tree.t
+(** The hidden tree [run] would explore, generated from the same
+    instance stream — for [--dump-tree]-style exports.
+    @raise Invalid_argument for adversarial scenarios (their tree only
+    exists after a run). *)
+
+val run_on_tree :
+  ?probe:Bfdn_obs.Probe.t ->
+  ?on_round:(Bfdn_sim.Env.t -> unit) ->
+  t ->
+  Bfdn_trees.Tree.t ->
+  outcome
+(** Run the spec's algorithm on an externally supplied tree (e.g. a
+    [--tree-file] replay), with the same algorithm-stream derivation as
+    {!run}; the spec's instance field is ignored. *)

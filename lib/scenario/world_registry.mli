@@ -1,0 +1,63 @@
+(** The single world-dispatch table of the repository.
+
+    Wraps every {!Bfdn_trees.Tree_gen} instance family, the warehouse
+    grid generator and every {!Bfdn_sim.Adversary} policy behind named,
+    schema-carrying entries. The CLI, the bench harness and
+    {!Scenario.run} resolve world and policy names here — there is no
+    other family→generator table in the repository. *)
+
+type ctx = { rng : Bfdn_util.Rng.t; params : Param.binding list }
+
+type kind =
+  | Tree of (ctx -> Bfdn_trees.Tree.t)
+      (** a fixed hidden tree, generated up front *)
+  | Grid of (ctx -> Bfdn_graphs.Grid.t)
+      (** a warehouse grid (graph exploration; driven by the [grid]
+          subcommand, not by {!Scenario.run}) *)
+
+type entry = { name : string; doc : string; params : Param.spec list; kind : kind }
+
+type policy_entry = {
+  p_name : string;
+  p_doc : string;
+  p_params : Param.spec list;
+      (** always includes [capacity] and [depth_budget] *)
+  p_make : ctx -> Bfdn_sim.Adversary.t;
+      (** each result must drive exactly one environment (see
+          {!Bfdn_sim.Adversary.world}) *)
+}
+
+val worlds : entry list
+
+val find : string -> entry option
+
+val tree_names : string list
+(** Names whose kind is [Tree] — the [run]/[sweep] world vocabulary
+    (identical to {!Bfdn_trees.Tree_gen.families}, asserted in tests). *)
+
+val cli_world_choices : (string * string) list
+(** [(token, name)] pairs for tree worlds, for CLI enums. *)
+
+val build_tree :
+  ?rng:Bfdn_util.Rng.t -> ?params:Param.binding list -> string ->
+  Bfdn_trees.Tree.t
+(** Generate a named tree world. [rng] defaults to a fresh stream
+    (seed 0); deterministic families ignore it.
+    @raise Invalid_argument on an unknown or non-tree name, or
+    parameters violating the schema. *)
+
+(** {2 Adaptive adversary policies} *)
+
+val policies : policy_entry list
+
+val find_policy : string -> policy_entry option
+
+val policy_names : string list
+
+val cli_policy_choices : (string * string) list
+
+val build_adversary :
+  ?rng:Bfdn_util.Rng.t -> ?params:Param.binding list -> string ->
+  Bfdn_sim.Adversary.t
+(** Instantiate a named policy (fresh adversary per call).
+    @raise Invalid_argument on an unknown name or bad parameters. *)

@@ -20,4 +20,5 @@ let () =
       Test_adversary.suite;
       Test_async.suite;
       Test_engine.suite;
+      Test_scenario.suite;
     ]

@@ -54,6 +54,61 @@ let test_json_shapes () =
           ]));
   checks "escapes" "\\\"\\\\\\n\\t" (Json.escape "\"\\\n\t")
 
+let test_json_parse () =
+  let ok s = match Json.of_string s with Ok j -> j | Error e -> failwith e in
+  checkb "scalars" true
+    (ok "true" = Json.Bool true
+    && ok "null" = Json.Null
+    && ok "-42" = Json.Int (-42)
+    && ok "2.5e2" = Json.Float 250.0);
+  (* ints stay ints, anything with a fraction or exponent is a float *)
+  checkb "int vs float" true
+    (ok "7" = Json.Int 7 && ok "7.0" = Json.Float 7.0 && ok "7e0" = Json.Float 7.0);
+  checkb "nested" true
+    (ok {| { "a" : [1, {"b": false}], "c": "x" } |}
+    = Json.Obj
+        [
+          ("a", Json.List [ Json.Int 1; Json.Obj [ ("b", Json.Bool false) ] ]);
+          ("c", Json.String "x");
+        ]);
+  checks "string escapes" "\"\\\n\t/"
+    (match ok {|"\"\\\n\t\/"|} with Json.String s -> s | _ -> "?");
+  checks "unicode escape" "\xcf\x80\xe2\x89\xa4A"
+    (match ok {|"\u03c0\u2264A"|} with Json.String s -> s | _ -> "?");
+  List.iter
+    (fun bad ->
+      checkb (Printf.sprintf "%S rejected" bad) true
+        (Result.is_error (Json.of_string bad)))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated"; "{'a':1}" ]
+
+let test_json_parse_inverts_emit () =
+  (* Every value the emitter can produce (minus non-finite floats, which
+     emit as null) parses back constructor-for-constructor. *)
+  let samples =
+    [
+      Json.Null; Json.Bool false; Json.Int max_int; Json.Int min_int;
+      Json.Float 0.1; Json.Float (-1e-308); Json.Float 667010.0;
+      Json.String ""; Json.String "a\"b\\c\nd\te\x01f";
+      Json.String "π ≤ 𝄞"; (* 2-, 3- and 4-byte UTF-8 *)
+      Json.List [];
+      Json.Obj
+        [
+          ("k", Json.List [ Json.Int 1; Json.Null ]);
+          ("nested", Json.Obj [ ("x", Json.Float 2.5) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      let s = Json.to_string j in
+      checkb (Printf.sprintf "%s round-trips" s) true (Json.of_string s = Ok j))
+    samples;
+  checkb "member" true
+    (Json.member "b" (Json.Obj [ ("a", Json.Int 1); ("b", Json.Int 2) ])
+     = Some (Json.Int 2)
+    && Json.member "z" (Json.Obj [ ("a", Json.Int 1) ]) = None
+    && Json.member "a" (Json.List []) = None)
+
 (* ---- ring ---- *)
 
 let test_ring_wraps () =
@@ -278,6 +333,8 @@ let suite =
       tc "json float round-trip" test_json_float_roundtrip;
       tc "json non-finite null" test_json_nonfinite_null;
       tc "json shapes" test_json_shapes;
+      tc "json parse" test_json_parse;
+      tc "json parse inverts emit" test_json_parse_inverts_emit;
       tc "ring wraps" test_ring_wraps;
       tc "ring under capacity" test_ring_under_capacity;
       tc "counter and gauge" test_counter_gauge;

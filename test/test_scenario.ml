@@ -1,0 +1,378 @@
+(* Tests for the declarative scenario layer: registry coverage (every
+   registered algorithm reachable from the CLI enums — the drift the
+   registries were built to kill), the JSON codec (decode ∘ encode = id,
+   by qcheck property over valid specs), and execution equivalence — the
+   single Scenario.run dispatch path must reproduce, bit for bit, the
+   Runner.result of the hand-built wiring it replaced, across the 42
+   golden configs of test_golden.ml and through a save/load round trip. *)
+
+module Param = Bfdn_scenario.Param
+module Algo_registry = Bfdn_scenario.Algo_registry
+module World_registry = Bfdn_scenario.World_registry
+module Scenario = Bfdn_scenario.Scenario
+module Job = Bfdn_engine.Job
+module Tree_gen = Bfdn_trees.Tree_gen
+module Env = Bfdn_sim.Env
+module Runner = Bfdn_sim.Runner
+module Bfdn_algo = Bfdn.Bfdn_algo
+module Rng = Bfdn_util.Rng
+
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+let check_sl = Alcotest.(check (list string))
+
+(* ---- registry coverage: nothing registered can be CLI-unreachable ---- *)
+
+let test_worlds_cover_tree_gen () =
+  check_sl "tree worlds = Tree_gen.families" Tree_gen.families
+    World_registry.tree_names
+
+let test_algos_reachable_from_cli () =
+  List.iter
+    (fun name ->
+      checkb (name ^ " in --algo enum") true
+        (List.mem (name, name) Algo_registry.cli_choices))
+    Algo_registry.tree_names;
+  (* the adversary subcommand's enum is exactly the adaptive-capable
+     subset — the bfdn|cte-only drift this replaces *)
+  List.iter
+    (fun name ->
+      let e = Option.get (Algo_registry.find name) in
+      checkb
+        (name ^ " in adversary enum iff adaptive")
+        e.Algo_registry.caps.adaptive
+        (List.mem_assoc name Algo_registry.adaptive_cli_choices))
+    Algo_registry.tree_names;
+  (* aliases resolve to their canonical entry and appear in the enum *)
+  List.iter
+    (fun (e : Algo_registry.entry) ->
+      List.iter
+        (fun alias ->
+          checkb (alias ^ " alias resolves") true
+            (match Algo_registry.find alias with
+            | Some e' -> e' == e
+            | None -> false);
+          if e.caps.tree && e.make <> None then
+            checkb (alias ^ " alias in enum") true
+              (List.mem (alias, e.name) Algo_registry.cli_choices))
+        e.aliases)
+    Algo_registry.all
+
+let test_engine_vocabulary_is_registry () =
+  check_sl "Job.algos" Algo_registry.tree_names Job.algos;
+  check_sl "Job.policies" World_registry.policy_names Job.policies
+
+let test_every_world_builds_and_explores () =
+  (* Tiny end-to-end run of every tree world through the one dispatch
+     path, so a registered world can't silently be unrunnable. *)
+  List.iter
+    (fun world ->
+      let spec =
+        Scenario.make ~k:4 ~seed:7
+          (Scenario.world
+             ~params:[ ("depth_hint", Param.Int 6); ("n", Param.Int 80) ]
+             world)
+      in
+      let o = Scenario.run spec in
+      checkb (world ^ " explored") true o.Scenario.result.explored)
+    World_registry.tree_names
+
+let test_every_policy_runs () =
+  List.iter
+    (fun policy ->
+      let spec =
+        Scenario.make ~k:4 ~seed:7
+          (Scenario.adversarial ~policy ~capacity:120 ~depth_budget:30)
+      in
+      let o = Scenario.run spec in
+      checkb (policy ^ " explored") true o.Scenario.result.explored;
+      checkb (policy ^ " has replay") true (o.Scenario.replay_rounds <> None))
+    World_registry.policy_names
+
+(* ---- validation ---- *)
+
+let expect_error what spec =
+  match Scenario.validate spec with
+  | Ok () -> Alcotest.failf "%s: expected a validation error" what
+  | Error msg -> checkb (what ^ " error mentions cause") true (msg <> "")
+
+let test_validate_rejects () =
+  expect_error "unknown algorithm"
+    (Scenario.make ~algo:"no-such-algo" (Scenario.world "comb"));
+  expect_error "unknown world"
+    (Scenario.make (Scenario.world "no-such-world"));
+  expect_error "unknown policy"
+    (Scenario.make
+       (Scenario.adversarial ~policy:"nope" ~capacity:10 ~depth_budget:5));
+  (* capability mismatches *)
+  expect_error "graph algo on tree scenario"
+    (Scenario.make ~algo:"bfdn-graph" (Scenario.world "comb"));
+  expect_error "grid world in a tree scenario"
+    (Scenario.make (Scenario.world "grid"));
+  expect_error "oracle-reading algo vs adaptive adversary"
+    (Scenario.make ~algo:"offline"
+       (Scenario.adversarial ~policy:"miser" ~capacity:10 ~depth_budget:5));
+  (* parameter schema *)
+  expect_error "unknown algo param"
+    (Scenario.make ~algo_params:[ ("nope", Param.Int 1) ]
+       (Scenario.world "comb"));
+  expect_error "wrong param type"
+    (Scenario.make
+       (Scenario.world ~params:[ ("n", Param.String "many") ] "comb"));
+  expect_error "k < 1" (Scenario.make ~k:0 (Scenario.world "comb"));
+  expect_error "max_rounds < 1"
+    (Scenario.make ~max_rounds:0 (Scenario.world "comb"));
+  (* but the adaptive subset does accept every adaptive algorithm *)
+  List.iter
+    (fun algo ->
+      checkb (algo ^ " accepted vs adversary") true
+        (Scenario.validate
+           (Scenario.make ~algo
+              (Scenario.adversarial ~policy:"miser" ~capacity:10
+                 ~depth_budget:5))
+        = Ok ()))
+    Algo_registry.adaptive_names
+
+(* ---- JSON codec ---- *)
+
+let test_json_shape_and_defaults () =
+  let spec =
+    Scenario.make ~algo:"bfdn-rec"
+      ~algo_params:[ ("ell", Param.Int 3) ]
+      ~k:9 ~seed:3 ~max_rounds:77
+      (Scenario.generated ~family:"comb" ~n:500 ~depth_hint:12)
+  in
+  checks "stable wire format"
+    {|{"schema_version":1,"world":{"name":"comb","params":{"depth_hint":12,"n":500}},"algo":{"name":"bfdn-rec","params":{"ell":3}},"k":9,"seed":3,"max_rounds":77,"metrics":false}|}
+    (Scenario.to_string spec);
+  (* member order is irrelevant and optional fields default *)
+  match
+    Scenario.of_string
+      {| {"seed":3, "k":9, "algo":{"name":"bfdn-rec","params":{"ell":3}},
+          "world":{"name":"comb","params":{"n":500,"depth_hint":12}},
+          "schema_version":1} |}
+  with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+      checkb "decoded to the same spec (modulo optionals)" true
+        (Scenario.equal t { spec with max_rounds = None })
+
+let test_json_rejects () =
+  List.iter
+    (fun (what, s) ->
+      checkb what true (Result.is_error (Scenario.of_string s)))
+    [
+      ("not json", "{nope");
+      ("missing instance", {|{"schema_version":1,"algo":{"name":"bfdn"},"k":1,"seed":0}|});
+      ( "both instances",
+        {|{"schema_version":1,"world":{"name":"comb"},"adversary":{"name":"miser"},"algo":{"name":"bfdn"},"k":1,"seed":0}|}
+      );
+      ( "bad version",
+        {|{"schema_version":2,"world":{"name":"comb"},"algo":{"name":"bfdn"},"k":1,"seed":0}|}
+      );
+      ( "unknown algorithm",
+        {|{"schema_version":1,"world":{"name":"comb"},"algo":{"name":"zap"},"k":1,"seed":0}|}
+      );
+      ( "non-int k",
+        {|{"schema_version":1,"world":{"name":"comb"},"algo":{"name":"bfdn"},"k":"many","seed":0}|}
+      );
+    ]
+
+(* qcheck: decode ∘ encode = id over randomly generated valid specs,
+   including adversarial instances, parameter bindings of every type and
+   the optional fields. *)
+let spec_gen =
+  let open QCheck2.Gen in
+  let value_for (s : Param.spec) =
+    match s.default with
+    | Param.Int _ -> map (fun i -> Param.Int i) (int_range (-1000) 1000)
+    | Param.Float _ ->
+        map (fun f -> Param.Float f) (float_range (-1e6) 1e6)
+    | Param.Bool _ -> map (fun b -> Param.Bool b) bool
+    | Param.String _ ->
+        map (fun s -> Param.String s) (string_size ~gen:printable (0 -- 8))
+  in
+  let bindings_for schema =
+    (* each key independently present or defaulted *)
+    let rec go = function
+      | [] -> return []
+      | (s : Param.spec) :: rest ->
+          bool >>= fun keep ->
+          go rest >>= fun tl ->
+          if keep then value_for s >>= fun v -> return ((s.key, v) :: tl)
+          else return tl
+    in
+    go schema
+  in
+  bool >>= fun adversarial ->
+  (if adversarial then
+     oneofl World_registry.policies >>= fun (p : World_registry.policy_entry) ->
+     bindings_for p.p_params >>= fun params ->
+     return (Scenario.Adversarial { policy = p.p_name; params })
+   else
+     oneofl World_registry.tree_names >>= fun world ->
+     let entry = Option.get (World_registry.find world) in
+     bindings_for entry.params >>= fun params ->
+     return (Scenario.World { world; params }))
+  >>= fun instance ->
+  oneofl
+    (if adversarial then Algo_registry.adaptive_names
+     else Algo_registry.tree_names)
+  >>= fun algo ->
+  bindings_for (Option.get (Algo_registry.find algo)).params
+  >>= fun algo_params ->
+  int_range 1 512 >>= fun k ->
+  int_range (-100000) 100000 >>= fun seed ->
+  opt (int_range 1 100000) >>= fun max_rounds ->
+  bool >>= fun metrics ->
+  return
+    (Scenario.make ~algo ~algo_params ~k ~seed ?max_rounds ~metrics instance)
+
+let prop_json_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"scenario json round-trip"
+    ~print:Scenario.to_string spec_gen (fun spec ->
+      match Scenario.of_string (Scenario.to_string spec) with
+      | Ok spec' -> Scenario.equal spec spec'
+      | Error e -> QCheck2.Test.fail_reportf "decode failed: %s" e)
+
+(* ---- execution equivalence ----
+
+   Scenario.run must reproduce the exact Runner.result of the hand-built
+   wiring it replaced. The 42 configs are those of test_golden.ml: the 7
+   golden families × 3 anchor policies × shortcut ∈ {false, true}, at
+   k = 9, n = 500, depth_hint = 12, with the engine's historical stream
+   derivation (split 0 = tree, split 1 = algorithm). *)
+
+let result_t =
+  Alcotest.testable Runner.pp_result (fun (a : Runner.result) b -> a = b)
+
+let golden_families =
+  [ "comb"; "binary"; "random"; "trap"; "caterpillar"; "spider"; "hidden-path" ]
+
+let policies = [ "least-loaded"; "first-open"; "random-open" ]
+
+let hand_wired ~family ~policy ~shortcut ~seed =
+  let root = Rng.create seed in
+  let tree =
+    Tree_gen.of_family family ~rng:(Rng.split root 0) ~n:500 ~depth_hint:12
+  in
+  let env = Env.create tree ~k:9 in
+  let pol =
+    match policy with
+    | "least-loaded" -> Bfdn_algo.Least_loaded
+    | "first-open" -> Bfdn_algo.First_open
+    | _ -> Bfdn_algo.Random_open (Rng.split root 1)
+  in
+  let t = Bfdn_algo.make ~policy:pol ~shortcut env in
+  Runner.run (Bfdn_algo.algo t) env
+
+let test_golden_equivalence () =
+  let idx = ref 0 in
+  List.iter
+    (fun family ->
+      List.iter
+        (fun policy ->
+          List.iter
+            (fun shortcut ->
+              let seed = 1000 + !idx in
+              incr idx;
+              let spec =
+                Scenario.make ~algo:"bfdn"
+                  ~algo_params:
+                    [
+                      ("policy", Param.String policy);
+                      ("shortcut", Param.Bool shortcut);
+                    ]
+                  ~k:9 ~seed
+                  (Scenario.generated ~family ~n:500 ~depth_hint:12)
+              in
+              Alcotest.check result_t
+                (Printf.sprintf "%s/%s/shortcut=%b" family policy shortcut)
+                (hand_wired ~family ~policy ~shortcut ~seed)
+                (Scenario.run spec).Scenario.result)
+            [ false; true ])
+        policies)
+    golden_families;
+  Alcotest.(check int) "all 42 golden configs covered" 42 !idx
+
+let test_job_run_is_scenario_run () =
+  (* the engine's Job.run and Scenario.run are one path, generated and
+     adversarial alike *)
+  let jobs =
+    [
+      Job.make ~algo:"cte" ~k:7 ~seed:11
+        (Job.Generated { family = "trap"; n = 300; depth_hint = 10 });
+      Job.make ~algo:"random-walk" ~k:3 ~seed:5
+        (Job.Generated { family = "star"; n = 60; depth_hint = 2 });
+      Job.make ~algo:"bfdn" ~k:6 ~seed:2
+        (Job.Adversarial
+           { policy = "thick-comb"; capacity = 150; depth_budget = 40 });
+    ]
+  in
+  List.iter
+    (fun job ->
+      checkb (Job.describe job) true
+        (Scenario.equal_outcome (Job.run job) (Scenario.run job)))
+    jobs
+
+let test_save_load_reexecute () =
+  let path = Filename.temp_file "scenario" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let spec =
+        Scenario.make ~algo:"bfdn-rec"
+          ~algo_params:[ ("ell", Param.Int 2) ]
+          ~k:5 ~seed:33
+          (Scenario.adversarial ~policy:"corridor" ~capacity:200
+             ~depth_budget:50)
+      in
+      Scenario.save ~path spec;
+      match Scenario.load path with
+      | Error e -> Alcotest.fail e
+      | Ok spec' ->
+          checkb "spec survives the disk round trip" true
+            (Scenario.equal spec spec');
+          checkb "re-executed outcome is identical" true
+            (Scenario.equal_outcome (Scenario.run spec) (Scenario.run spec')))
+
+let test_run_on_tree_matches_run () =
+  (* materialize + run_on_tree is the --tree-file replay path; on the
+     spec's own tree it must equal Scenario.run exactly. *)
+  let spec =
+    Scenario.make ~algo:"bfdn" ~k:6 ~seed:9
+      (Scenario.generated ~family:"random-deep" ~n:250 ~depth_hint:30)
+  in
+  checkb "replay on the materialized tree is identical" true
+    (Scenario.equal_outcome (Scenario.run spec)
+       (Scenario.run_on_tree spec (Scenario.materialize spec)))
+
+let test_probe_does_not_change_outcome () =
+  let spec =
+    Scenario.make ~algo:"bfdn" ~k:8 ~seed:4
+      (Scenario.generated ~family:"comb" ~n:300 ~depth_hint:15)
+  in
+  let m = Bfdn_obs.Metrics.create () in
+  checkb "metrics probe preserves the outcome" true
+    (Scenario.equal_outcome (Scenario.run spec)
+       (Scenario.run ~probe:(Bfdn_obs.Probe.of_metrics m) spec))
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  ( "scenario",
+    [
+      tc "worlds cover Tree_gen" test_worlds_cover_tree_gen;
+      tc "algorithms reachable from CLI" test_algos_reachable_from_cli;
+      tc "engine vocabulary is the registry" test_engine_vocabulary_is_registry;
+      tc "every world builds and explores" test_every_world_builds_and_explores;
+      tc "every policy runs" test_every_policy_runs;
+      tc "validate rejects" test_validate_rejects;
+      tc "json wire format" test_json_shape_and_defaults;
+      tc "json rejects" test_json_rejects;
+      QCheck_alcotest.to_alcotest prop_json_roundtrip;
+      tc "golden equivalence (42 configs)" test_golden_equivalence;
+      tc "job.run = scenario.run" test_job_run_is_scenario_run;
+      tc "save/load/re-execute" test_save_load_reexecute;
+      tc "run_on_tree matches run" test_run_on_tree_matches_run;
+      tc "probe does not change outcome" test_probe_does_not_change_outcome;
+    ] )
