@@ -470,3 +470,82 @@ let smoke () =
   && c.s_rounds > 0 && a.s_wall > 0.0
   && p.s_rounds = a.s_rounds && p.s_events = a.s_events
   && counters_ok && overhead_ok
+
+(* ---- CI perf-regression gate (--perf-gate) ----
+
+   Re-measure a small subset of the committed configs and fail when
+   throughput drops below [gate_floor] of the committed
+   BENCH_hotpath.json value (a >40% regression). The committed numbers
+   come from whatever machine last ran E16 at the default scale, so the
+   floor is deliberately loose: it catches accidental algorithmic
+   slowdowns on the hot path, not machine-to-machine variance. *)
+
+let gate_floor = 0.6
+
+let gate_subset =
+  [ ("comb", "bfdn", 8); ("comb", "cte", 8); ("random", "bfdn", 64) ]
+
+let gate_configs () =
+  let doc = In_channel.with_open_text report_path In_channel.input_all in
+  match Bfdn_obs.Json.of_string doc with
+  | Error msg -> failwith (report_path ^ ": " ^ msg)
+  | Ok j -> (
+      match Bfdn_obs.Json.member "configs" j with
+      | Some (Engine_report.List rows) -> rows
+      | _ -> failwith (report_path ^ ": no configs member"))
+
+let committed_rps rows (family, algo, k) =
+  List.find_map
+    (fun row ->
+      match
+        ( Bfdn_obs.Json.member "family" row,
+          Bfdn_obs.Json.member "algo" row,
+          Bfdn_obs.Json.member "k" row,
+          Bfdn_obs.Json.member "rounds_per_sec" row )
+      with
+      | ( Some (Engine_report.String f),
+          Some (Engine_report.String a),
+          Some (Engine_report.Int kk),
+          Some (Engine_report.Float rps) )
+        when f = family && a = algo && kk = k ->
+          Some rps
+      | _ -> None)
+    rows
+
+let perf_gate () =
+  scale := Normal;
+  header "PERF GATE"
+    (Printf.sprintf "measured rounds/s must stay >= %.2fx the committed %s"
+       gate_floor report_path);
+  let rows = gate_configs () in
+  let fails = ref 0 in
+  List.iter
+    (fun ((family, algo, k) as key) ->
+      match committed_rps rows key with
+      | None ->
+          Printf.printf "  %-6s %-4s k=%-3d no committed baseline, skipped\n"
+            family algo k
+      | Some base ->
+          let depth_hint = List.assoc family families in
+          let tree =
+            Tree_gen.of_family family ~rng:(Rng.create seed)
+              ~n:(sized nominal_n) ~depth_hint
+          in
+          let s = measure tree k algo in
+          let rps = float_of_int s.s_rounds /. Float.max 1e-9 s.s_wall in
+          let ratio = rps /. Float.max 1e-9 base in
+          let ok = ratio >= gate_floor in
+          if not ok then incr fails;
+          Printf.printf
+            "  %-6s %-4s k=%-3d %s %11.0f r/s vs committed %11.0f (%.2fx)\n"
+            family algo k
+            (if ok then "ok  " else "FAIL")
+            rps base ratio)
+    gate_subset;
+  if !fails > 0 then begin
+    Printf.printf "perf gate: %d config(s) regressed past %.2fx\n" !fails
+      gate_floor;
+    exit 1
+  end;
+  Printf.printf "perf gate: all %d configs within budget\n"
+    (List.length gate_subset)

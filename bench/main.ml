@@ -4,7 +4,7 @@
    EXPERIMENTS.md for the index.
 
    Usage: dune exec bench/main.exe -- [--quick|--full] [--no-micro]
-          [--only E1,E3,...] [--jobs=N] [--profile] [--smoke] *)
+          [--only E1,E3,...] [--jobs=N] [--profile] [--smoke] [--perf-gate] *)
 
 let experiments =
   [
@@ -23,6 +23,7 @@ let experiments =
     ("E13+E14", E_extensions.run);
     ("E15", E_engine.run);
     ("E16", E_hotpath.run);
+    ("E17", E_faults.run);
     ("A1", E_ablation.run);
   ]
 
@@ -30,6 +31,7 @@ let () =
   let only = ref None in
   let micro = ref true in
   let smoke = ref false in
+  let perf_gate = ref false in
   let args = List.tl (Array.to_list Sys.argv) in
   List.iter
     (fun arg ->
@@ -39,6 +41,7 @@ let () =
       | "--no-micro" -> micro := false
       | "--profile" -> Bench_common.profile := true
       | "--smoke" -> smoke := true
+      | "--perf-gate" -> perf_gate := true
       | _ when String.length arg > 7 && String.sub arg 0 7 = "--only=" ->
           only :=
             Some
@@ -57,11 +60,14 @@ let () =
           Printf.eprintf
             "unknown argument %s\n\
              usage: main.exe [--quick|--full] [--no-micro] [--only=E1,E2,...]\n\
-            \       [--jobs=N] [--profile] [--smoke]\n"
+            \       [--jobs=N] [--profile] [--smoke] [--perf-gate]\n"
             arg;
           exit 2)
     args;
-  if !smoke then begin
+  if !perf_gate then
+    (* CI regression tripwire: re-measure a committed-baseline subset. *)
+    E_hotpath.perf_gate ()
+  else if !smoke then begin
     (* CI tripwire: tiny engine batches over every experiment family. *)
     Bench_common.scale := Bench_common.Quick;
     E_smoke.run ()

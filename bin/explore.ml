@@ -25,6 +25,7 @@ module Metrics = Bfdn_obs.Metrics
 module Probe = Bfdn_obs.Probe
 module Sink = Bfdn_obs.Sink
 module Param = Bfdn_scenario.Param
+module Fault_spec = Bfdn_scenario.Fault_spec
 module Algo_registry = Bfdn_scenario.Algo_registry
 module World_registry = Bfdn_scenario.World_registry
 module Scenario = Bfdn_scenario.Scenario
@@ -85,6 +86,22 @@ let algo_schema name =
   | Some e -> e.Algo_registry.params
   | None -> failwith (Printf.sprintf "unknown algorithm %S" name)
 
+(* "fault."-prefixed --param keys address the fault-injection schema
+   instead of the algorithm's; split them off and strip the prefix. *)
+let fault_prefix = "fault."
+
+let split_fault_params kvs =
+  let is_fault kv =
+    String.length kv > String.length fault_prefix
+    && String.sub kv 0 (String.length fault_prefix) = fault_prefix
+  in
+  let fault_kvs, algo_kvs = List.partition is_fault kvs in
+  let strip kv =
+    String.sub kv (String.length fault_prefix)
+      (String.length kv - String.length fault_prefix)
+  in
+  (List.map strip fault_kvs, algo_kvs)
+
 (* ---- run ---- *)
 
 let run_cmd =
@@ -115,7 +132,9 @@ let run_cmd =
       & info [ "param"; "p" ] ~docv:"KEY=VALUE"
           ~doc:
             "Algorithm parameter (repeatable); see $(b,explore list) for each \
-             algorithm's schema, e.g. --algo bfdn-rec --param ell=3.")
+             algorithm's schema, e.g. --algo bfdn-rec --param ell=3. Keys \
+             prefixed $(b,fault.) address the fault-injection schema instead, \
+             e.g. --param fault.crashes=2@10 --param fault_tolerant=true.")
   in
   let max_rounds =
     Arg.(
@@ -192,11 +211,17 @@ let run_cmd =
           | Ok s -> s
           | Error msg -> failwith msg)
       | None ->
+          let fault_kvs, algo_kvs = split_fault_params params in
           let algo_params =
-            parse_bindings ~what:"--param" ~schema:(algo_schema algo_name) params
+            parse_bindings ~what:"--param" ~schema:(algo_schema algo_name)
+              algo_kvs
+          in
+          let faults =
+            parse_bindings ~what:"--param fault.*" ~schema:Fault_spec.schema
+              fault_kvs
           in
           Scenario.make ~algo:algo_name ~algo_params ~k ~seed ?max_rounds
-            ~metrics
+            ~metrics ~faults
             (Scenario.generated ~family ~n ~depth_hint:depth)
     in
     let spec = if metrics then { spec with Scenario.metrics = true } else spec in
@@ -338,6 +363,8 @@ let list_cmd =
         Printf.printf "  %-14s %s\n" p.p_name p.p_doc;
         schema_block p.p_params)
       World_registry.policies;
+    print_endline "\nFault injection (run --param fault.KEY=VALUE):";
+    schema_block Fault_spec.schema;
     print_endline "\nUrn-game adversaries (game subcommand):";
     List.iter
       (fun (name, doc) -> Printf.printf "  %-14s %s\n" name doc)

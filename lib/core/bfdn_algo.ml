@@ -2,8 +2,25 @@ module Env = Bfdn_sim.Env
 module Partial_tree = Bfdn_sim.Partial_tree
 module Runner = Bfdn_sim.Runner
 module Rng = Bfdn_util.Rng
+module Heartbeat = Bfdn_faults.Heartbeat
 
 type policy = Least_loaded | First_open | Random_open of Rng.t
+
+(* Crash-tolerance bookkeeping. Detection is purely whiteboard-local:
+   every acting robot writes a heartbeat, and a robot silent for more
+   than [suspect_after] rounds is {e buried} — its anchor is handed back
+   to the pool (accounted at the root) so the survivors re-cover its
+   subtree, and the termination condition stops waiting for it. Burial
+   is reversible: a fresh surviving heartbeat (a restarted robot, or a
+   false positive under whiteboard write drops) revives the robot, which
+   then rejoins the fleet through the ordinary walk-home/re-anchor flow. *)
+type ft = {
+  hb : Heartbeat.t;
+  suspect_after : int;
+  buried : bool array;
+  mutable lost : int;
+  mutable revived : int;
+}
 
 (* A robot's pending breadth-first route, int-coded into a reusable
    per-robot buffer: -1 = Up, p >= 0 = Via_port p. The slice
@@ -19,6 +36,7 @@ type t = {
   env : Env.t;
   policy : policy;
   shortcut : bool;
+  ft : ft option;
   probe : Bfdn_obs.Probe.t; (* anchor-switch and idle-robot hooks *)
   robots : rstate array;
   anchor_load : int array;
@@ -46,13 +64,27 @@ type t = {
 }
 
 let make ?(policy = Least_loaded) ?(shortcut = false)
-    ?(probe = Bfdn_obs.Probe.noop) env =
+    ?(probe = Bfdn_obs.Probe.noop) ?(fault_tolerant = false) ?(suspect_after = 4)
+    ?drop env =
   let n = Env.capacity env in
   let root = Partial_tree.root (Env.view env) in
+  if suspect_after < 1 then
+    invalid_arg "Bfdn_algo.make: suspect_after must be >= 1";
   {
     env;
     policy;
     shortcut;
+    ft =
+      (if not fault_tolerant then None
+       else
+         Some
+           {
+             hb = Heartbeat.create ?drop ~k:(Env.k env) ();
+             suspect_after;
+             buried = Array.make (Env.k env) false;
+             lost = 0;
+             revived = 0;
+           });
     probe;
     robots =
       Array.init (Env.k env) (fun _ ->
@@ -193,6 +225,45 @@ let pop_route t r =
   r.route_pos <- r.route_pos + 1;
   if c < 0 then Env.Up else via t c
 
+(* Fault-tolerance prepass: heartbeats, revivals and burials, before any
+   move is decided, so this round's re-anchoring already sees the
+   corrected anchor loads. A buried robot that is in fact alive (false
+   positive under write drops, or not yet revived because its beat
+   dropped again) still acts normally below — burial only affects anchor
+   accounting and the termination condition, never legality. *)
+let ft_prepass t f root =
+  let round = Env.round t.env in
+  let k = Env.k t.env in
+  for i = 0 to k - 1 do
+    if Env.allowed t.env i then begin
+      Heartbeat.beat f.hb ~robot:i ~round;
+      if f.buried.(i) && Heartbeat.last_seen f.hb i = round then begin
+        f.buried.(i) <- false;
+        f.revived <- f.revived + 1;
+        if t.probe.Bfdn_obs.Probe.enabled then
+          t.probe.Bfdn_obs.Probe.on_robot_revived ~robot:i ~round
+      end
+    end;
+    if
+      (not f.buried.(i))
+      && Heartbeat.stale f.hb ~robot:i ~round ~after:f.suspect_after
+    then begin
+      let r = t.robots.(i) in
+      t.anchor_load.(r.anchor) <- t.anchor_load.(r.anchor) - 1;
+      r.anchor <- root;
+      t.anchor_load.(root) <- t.anchor_load.(root) + 1;
+      (* Drop the pending route: if the robot is in fact alive it falls
+         back to depth-next moves and walks home, which is always legal. *)
+      r.route_pos <- 0;
+      r.route_len <- 0;
+      f.buried.(i) <- true;
+      f.lost <- f.lost + 1;
+      if t.probe.Bfdn_obs.Probe.enabled then
+        t.probe.Bfdn_obs.Probe.on_robot_lost ~robot:i ~round
+          ~latency:(Heartbeat.missed f.hb ~robot:i ~round)
+    end
+  done
+
 let select t =
   let view = Env.view t.env in
   let root = Partial_tree.root view in
@@ -200,6 +271,7 @@ let select t =
   let moves = t.moves in
   Array.fill moves 0 k Env.Stay;
   t.sel_epoch <- t.sel_epoch + 1;
+  (match t.ft with None -> () | Some f -> ft_prepass t f root);
   for i = 0 to k - 1 do
     if Env.allowed t.env i then begin
       let r = t.robots.(i) in
@@ -253,13 +325,30 @@ let send_summary t =
   t.probe.Bfdn_obs.Probe.on_reanchor_summary ~total:t.reanchors_total
     ~by_depth:(Array.sub counts 0 (!hi + 1))
 
+(* Crash-tolerant termination: explored, and every robot not presumed
+   lost is back at the root. Waiting for buried robots would spin until
+   the round bound whenever a crash is permanent. *)
+let ft_finished f env =
+  Env.fully_explored env
+  &&
+  let root = Partial_tree.root (Env.view env) in
+  let ok = ref true in
+  for i = 0 to Env.k env - 1 do
+    if (not f.buried.(i)) && Env.position env i <> root then ok := false
+  done;
+  !ok
+
 let algo t =
   {
-    Runner.name = "bfdn";
+    Runner.name = (match t.ft with None -> "bfdn" | Some _ -> "bfdn-ft");
     select = (fun _ -> select t);
     finished =
       (fun env ->
-        let fin = Env.fully_explored env && Env.all_at_root env in
+        let fin =
+          match t.ft with
+          | None -> Env.fully_explored env && Env.all_at_root env
+          | Some f -> ft_finished f env
+        in
         if fin && t.probe.Bfdn_obs.Probe.enabled && not t.summary_sent then
           send_summary t;
         fin);
@@ -272,6 +361,20 @@ let reanchors_at_depth t d =
   else t.reanchor_counts.(d)
 
 let reanchors_total t = t.reanchors_total
+
+let fault_tolerant t = t.ft <> None
+let robots_lost t = match t.ft with None -> 0 | Some f -> f.lost
+let robots_revived t = match t.ft with None -> 0 | Some f -> f.revived
+
+let presumed_lost t =
+  match t.ft with
+  | None -> [||]
+  | Some f ->
+      let acc = ref [] in
+      for i = Array.length f.buried - 1 downto 0 do
+        if f.buried.(i) then acc := i :: !acc
+      done;
+      Array.of_list !acc
 
 let check_claim4 t =
   let view = Env.view t.env in

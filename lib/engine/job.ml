@@ -12,6 +12,7 @@ type t = Scenario.t = {
   seed : int;
   max_rounds : int option;
   metrics : bool;
+  faults : Bfdn_scenario.Param.binding list;
 }
 
 type outcome = Scenario.outcome = {

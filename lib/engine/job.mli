@@ -29,6 +29,9 @@ type t = Scenario.t = {
           algorithm streams with [Rng.split] *)
   max_rounds : int option;
   metrics : bool;
+  faults : Bfdn_scenario.Param.binding list;
+      (** fault-injection schedule ({!Bfdn_scenario.Fault_spec} schema);
+          compiled to the same deterministic plan in every worker *)
 }
 
 type outcome = Scenario.outcome = {

@@ -1,0 +1,15 @@
+type t = {
+  last : int array;
+  drop : round:int -> robot:int -> bool;
+}
+
+let create ?(drop = fun ~round:_ ~robot:_ -> false) ~k () =
+  if k < 1 then invalid_arg "Heartbeat.create: k must be >= 1";
+  { last = Array.make k 0; drop }
+
+let beat t ~robot ~round =
+  if not (t.drop ~round ~robot) then t.last.(robot) <- round
+
+let last_seen t robot = t.last.(robot)
+let missed t ~robot ~round = round - t.last.(robot)
+let stale t ~robot ~round ~after = missed t ~robot ~round > after

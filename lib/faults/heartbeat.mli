@@ -1,0 +1,29 @@
+(** Root-whiteboard heartbeat board for crash detection.
+
+    Every robot that acts in a round writes a heartbeat (conceptually on
+    the root whiteboard it synchronizes with; the full-communication
+    model makes the board global). A robot whose heartbeat goes stale
+    for more than a timeout is presumed lost — the signal the
+    crash-tolerant BFDN variant uses to reassign its anchor. The board
+    honours the fault plan's write-drop probability: a dropped beat is
+    silently lost, so detection under drops is {e delayed}, never
+    unsound (a live robot keeps beating and is eventually re-seen). *)
+
+type t
+
+val create : ?drop:(round:int -> robot:int -> bool) -> k:int -> unit -> t
+(** [drop] (default: never) decides which writes are lost — pass
+    {!Fault_plan.drops_write} to model an unreliable whiteboard. All
+    robots start as seen at round 0. *)
+
+val beat : t -> robot:int -> round:int -> unit
+(** Record a heartbeat, unless the drop predicate eats the write. *)
+
+val last_seen : t -> int -> int
+(** Round of the robot's last surviving heartbeat (0 initially). *)
+
+val missed : t -> robot:int -> round:int -> int
+(** [round - last_seen]: consecutive silent rounds as of [round]. *)
+
+val stale : t -> robot:int -> round:int -> after:int -> bool
+(** [missed > after] — the detection predicate. *)

@@ -11,6 +11,8 @@ type t = {
   on_reanchor : robot:int -> depth:int -> route_len:int -> unit;
   on_reanchor_summary : total:int -> by_depth:int array -> unit;
   on_select : idle:int -> unit;
+  on_robot_lost : robot:int -> round:int -> latency:int -> unit;
+  on_robot_revived : robot:int -> round:int -> unit;
   on_job : worker:int -> wait_ns:int -> run_ns:int -> unit;
 }
 
@@ -23,11 +25,14 @@ let noop =
     on_reanchor = (fun ~robot:_ ~depth:_ ~route_len:_ -> ());
     on_reanchor_summary = (fun ~total:_ ~by_depth:_ -> ());
     on_select = (fun ~idle:_ -> ());
+    on_robot_lost = (fun ~robot:_ ~round:_ ~latency:_ -> ());
+    on_robot_revived = (fun ~robot:_ ~round:_ -> ());
     on_job = (fun ~worker:_ ~wait_ns:_ ~run_ns:_ -> ());
   }
 
 let make ?(events = false) ?on_round ?on_phase ?on_reanchor
-    ?on_reanchor_summary ?on_select ?on_job () =
+    ?on_reanchor_summary ?on_select ?on_robot_lost ?on_robot_revived ?on_job
+    () =
   {
     enabled = true;
     events;
@@ -37,6 +42,9 @@ let make ?(events = false) ?on_round ?on_phase ?on_reanchor
     on_reanchor_summary =
       Option.value on_reanchor_summary ~default:noop.on_reanchor_summary;
     on_select = Option.value on_select ~default:noop.on_select;
+    on_robot_lost = Option.value on_robot_lost ~default:noop.on_robot_lost;
+    on_robot_revived =
+      Option.value on_robot_revived ~default:noop.on_robot_revived;
     on_job = Option.value on_job ~default:noop.on_job;
   }
 
@@ -57,6 +65,11 @@ let of_metrics m =
     Metrics.histogram ~bounds:Metrics.count_bounds m "reanchor_depth"
   in
   let idle = Metrics.histogram ~bounds:Metrics.count_bounds m "idle_robots" in
+  let robots_lost = Metrics.counter m "robots_lost" in
+  let robots_revived = Metrics.counter m "robots_revived" in
+  let detect_latency =
+    Metrics.histogram ~bounds:Metrics.count_bounds m "detect_latency_rounds"
+  in
   make
     ~on_round:(fun ~round:_ ~moved ~idle:n ~revealed ~edge_events:ee ->
       Metrics.incr rounds;
@@ -74,6 +87,10 @@ let of_metrics m =
       Array.iteri
         (fun d c -> if c > 0 then Metrics.observe_int_n reanchor_depth d c)
         by_depth)
+    ~on_robot_lost:(fun ~robot:_ ~round:_ ~latency ->
+      Metrics.incr robots_lost;
+      Metrics.observe_int detect_latency latency)
+    ~on_robot_revived:(fun ~robot:_ ~round:_ -> Metrics.incr robots_revived)
     ()
 
 let pool_probe regs =

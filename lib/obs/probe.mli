@@ -53,6 +53,15 @@ type t = {
       (** Per-event ([events] only) — after each algorithm [select]:
           robots assigned [Stay] (costs an O(k) scan per round, hence
           gated). *)
+  on_robot_lost : robot:int -> round:int -> latency:int -> unit;
+      (** Crash-tolerant algorithms: a robot was declared lost at
+          [round], [latency] rounds after its last surviving heartbeat.
+          Fires under [enabled] (not [events]): losses are bounded by
+          the fleet size per run, not by the round count. *)
+  on_robot_revived : robot:int -> round:int -> unit;
+      (** A presumed-lost robot produced a fresh heartbeat (restart, or
+          a false positive under whiteboard write drops) and was folded
+          back into the fleet. Fires under [enabled]. *)
   on_job : worker:int -> wait_ns:int -> run_ns:int -> unit;
       (** Engine pool: per-job queue wait and execution time. May be
           invoked concurrently from worker domains — implementations
@@ -70,6 +79,8 @@ val make :
   ?on_reanchor:(robot:int -> depth:int -> route_len:int -> unit) ->
   ?on_reanchor_summary:(total:int -> by_depth:int array -> unit) ->
   ?on_select:(idle:int -> unit) ->
+  ?on_robot_lost:(robot:int -> round:int -> latency:int -> unit) ->
+  ?on_robot_revived:(robot:int -> round:int -> unit) ->
   ?on_job:(worker:int -> wait_ns:int -> run_ns:int -> unit) ->
   unit ->
   t
@@ -80,10 +91,12 @@ val make :
 val of_metrics : Metrics.t -> t
 (** The standard single-domain instrumentation — aggregate-only
     ([events = false], so its overhead stays within the E16 budget):
-    counters [rounds], [moves], [reveals], [edge_events], [reanchors]
+    counters [rounds], [moves], [reveals], [edge_events], [reanchors],
+    [robots_lost], [robots_revived]
     and phase-time counters [select_ns]/[apply_ns]/[finished_check_ns];
-    histograms [idle_robots] (one sample per round, from [on_round])
-    and [reanchor_depth] (filled by the end-of-run summary). *)
+    histograms [idle_robots] (one sample per round, from [on_round]),
+    [reanchor_depth] (filled by the end-of-run summary) and
+    [detect_latency_rounds] (crash-detection latency per lost robot). *)
 
 val pool_probe : Metrics.t array -> t
 (** Engine instrumentation: worker [i] records [queue_wait_s] and

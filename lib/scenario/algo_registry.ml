@@ -10,6 +10,7 @@ type ctx = {
   rng : Rng.t;
   probe : Probe.t;
   params : Param.binding list;
+  fault : Bfdn_faults.Fault_plan.t option;
 }
 
 type entry = {
@@ -46,6 +47,18 @@ let bfdn_params =
       doc = "re-anchor through the LCA when a DN excursion stalls (ablation)";
       default = Param.Bool false;
     };
+    {
+      Param.key = "fault_tolerant";
+      doc =
+        "crash-tolerant variant: detect silent robots via whiteboard \
+         heartbeats and release their anchors";
+      default = Param.Bool false;
+    };
+    {
+      Param.key = "suspect_after";
+      doc = "rounds of heartbeat silence before a robot is presumed lost";
+      default = Param.Int 4;
+    };
   ]
 
 let rec_params =
@@ -76,8 +89,24 @@ let all =
                 (Param.get_string ~schema c.params "policy")
             in
             let shortcut = Param.get_bool ~schema c.params "shortcut" in
+            let fault_tolerant =
+              Param.get_bool ~schema c.params "fault_tolerant"
+            in
+            let suspect_after = Param.get_int ~schema c.params "suspect_after" in
+            (* The ft variant reads the scenario's fault plan only for the
+               whiteboard write-drop model; crashes and masks reach it
+               through the environment like any other adversity. *)
+            let drop =
+              match c.fault with
+              | None -> None
+              | Some plan ->
+                  Some
+                    (fun ~round ~robot ->
+                      Bfdn_faults.Fault_plan.drops_write plan ~round ~robot)
+            in
             Bfdn.Bfdn_algo.algo
-              (Bfdn.Bfdn_algo.make ~policy ~shortcut ~probe:c.probe c.env));
+              (Bfdn.Bfdn_algo.make ~policy ~shortcut ~fault_tolerant
+                 ~suspect_after ?drop ~probe:c.probe c.env));
     };
     {
       name = "bfdn-wr";
@@ -216,7 +245,7 @@ let cli_choices = choices_of (fun e -> e.caps.tree && e.make <> None)
 let adaptive_cli_choices =
   choices_of (fun e -> e.caps.adaptive && e.make <> None)
 
-let instantiate ?(probe = Probe.noop) ?rng ?(params = []) name env =
+let instantiate ?(probe = Probe.noop) ?rng ?(params = []) ?fault name env =
   match find name with
   | None -> invalid_arg ("Algo_registry: unknown algorithm " ^ name)
   | Some e -> (
@@ -234,4 +263,4 @@ let instantiate ?(probe = Probe.noop) ?rng ?(params = []) name env =
               let rng =
                 match rng with Some r -> r | None -> Rng.create 0
               in
-              make { env; rng; probe; params }))
+              make { env; rng; probe; params; fault }))

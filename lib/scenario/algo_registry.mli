@@ -27,6 +27,11 @@ type ctx = {
           randomized variants *)
   probe : Bfdn_obs.Probe.t;
   params : Param.binding list;
+  fault : Bfdn_faults.Fault_plan.t option;
+      (** the scenario's compiled fault plan, when one is active.
+          Crashes and masks already act through the environment; this is
+          for algorithm-side fault models (today: the whiteboard
+          write-drop predicate read by crash-tolerant BFDN). *)
 }
 
 type entry = {
@@ -69,6 +74,7 @@ val instantiate :
   ?probe:Bfdn_obs.Probe.t ->
   ?rng:Bfdn_util.Rng.t ->
   ?params:Param.binding list ->
+  ?fault:Bfdn_faults.Fault_plan.t ->
   string ->
   Bfdn_sim.Env.t ->
   Bfdn_sim.Runner.algo

@@ -17,6 +17,7 @@ type t = {
   seed : int;
   max_rounds : int option;
   metrics : bool;
+  faults : Param.binding list;
 }
 
 type outcome = {
@@ -33,7 +34,7 @@ let canon_instance = function
       Adversarial { policy; params = Param.canon params }
 
 let make ?(algo = "bfdn") ?(algo_params = []) ?(k = 8) ?(seed = 0) ?max_rounds
-    ?(metrics = false) instance =
+    ?(metrics = false) ?(faults = []) instance =
   {
     instance = canon_instance instance;
     algo;
@@ -42,6 +43,7 @@ let make ?(algo = "bfdn") ?(algo_params = []) ?(k = 8) ?(seed = 0) ?max_rounds
     seed;
     max_rounds;
     metrics;
+    faults = Param.canon faults;
   }
 
 let world ?(params = []) name = World { world = name; params }
@@ -83,9 +85,13 @@ let describe t =
     | None -> ""
     | Some m -> Printf.sprintf " max_rounds=%d" m
   in
-  Printf.sprintf "%s/%s k=%d seed=%d%s" inst
+  let flt =
+    if t.faults = [] then ""
+    else Printf.sprintf " faults(%s)" (Param.bindings_to_string t.faults)
+  in
+  Printf.sprintf "%s/%s k=%d seed=%d%s%s" inst
     (with_params t.algo t.algo_params)
-    t.k t.seed cap
+    t.k t.seed cap flt
 
 let equal (a : t) (b : t) = a = b
 let equal_outcome (a : outcome) (b : outcome) = a = b
@@ -154,6 +160,7 @@ let validate t =
                    t.algo))
   in
   let* () = if t.k >= 1 then Ok () else Error "k must be >= 1" in
+  let* () = Fault_spec.validate ~k:t.k t.faults in
   match t.max_rounds with
   | Some m when m < 1 -> Error "max_rounds must be >= 1"
   | _ -> Ok ()
@@ -185,13 +192,19 @@ let to_json t =
     | Some m -> [ ("max_rounds", Json.Int m) ])
     @ [ ("metrics", Json.Bool t.metrics) ]
   in
+  (* "faults" is emitted only when non-empty, so pre-fault specs encode
+     byte-identically (the wire-shape golden test pins this). *)
+  let faults_field =
+    if t.faults = [] then []
+    else [ ("faults", Param.to_json t.faults) ]
+  in
   Json.Obj
     ([ ("schema_version", Json.Int schema_version);
        instance_field;
        ("algo", named t.algo t.algo_params);
-       ("k", Json.Int t.k);
-       ("seed", Json.Int t.seed);
      ]
+    @ faults_field
+    @ [ ("k", Json.Int t.k); ("seed", Json.Int t.seed) ]
     @ tail)
 
 let int_field j key =
@@ -248,7 +261,15 @@ let of_json j =
     | Some (Json.Bool b) -> Ok b
     | Some _ -> Error "field \"metrics\" must be a boolean"
   in
-  Ok { instance; algo; algo_params; k; seed; max_rounds; metrics }
+  let* faults =
+    match Json.member "faults" j with
+    | None -> Ok []
+    | Some fj -> (
+        match Param.of_json fj with
+        | Ok params -> Ok params
+        | Error msg -> Error (Printf.sprintf "faults params: %s" msg))
+  in
+  Ok { instance; algo; algo_params; k; seed; max_rounds; metrics; faults }
 
 let to_string t = Json.to_string (to_json t)
 
@@ -287,24 +308,37 @@ let load path =
 let instance_stream root = Rng.split root 0
 let algo_stream root = Rng.split root 1
 
+(* Split index 2. Existing seeds keep their instance and algorithm
+   streams bit for bit (Rng.split is pure), so fault-free scenarios run
+   identically to the pre-fault library — asserted by the golden
+   equivalence suite. *)
+let fault_stream root = Rng.split root 2
+
 let checked t =
   match validate t with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Scenario: " ^ msg ^ " in " ^ describe t)
 
-let instantiate ~probe ~rng t env =
-  Algo_registry.instantiate ~probe ~rng ~params:t.algo_params t.algo env
+(* The plan is re-derived from the root seed wherever the run is
+   (re-)executed — main run, adversarial replay, any engine worker — so
+   every execution of a spec injects the identical schedule. *)
+let fault_plan t root = Fault_spec.plan ~rng:(fault_stream root) ~k:t.k t.faults
+
+let instantiate ~probe ~rng ?fault t env =
+  Algo_registry.instantiate ~probe ~rng ~params:t.algo_params ?fault t.algo env
 
 let run ?(probe = Probe.noop) ?on_round t =
   checked t;
   let root = Rng.create t.seed in
+  let fault = fault_plan t root in
+  let fault_hook = Bfdn_faults.Injector.hook_opt fault in
   match t.instance with
   | World { world; params } ->
       let tree =
         World_registry.build_tree ~rng:(instance_stream root) ~params world
       in
-      let env = Env.create tree ~k:t.k in
-      let algo = instantiate ~probe ~rng:(algo_stream root) t env in
+      let env = Env.create tree ~k:t.k ~probe ~fault:fault_hook in
+      let algo = instantiate ~probe ~rng:(algo_stream root) ?fault t env in
       let result = Runner.run ?max_rounds:t.max_rounds ?on_round ~probe algo env in
       {
         result;
@@ -318,13 +352,21 @@ let run ?(probe = Probe.noop) ?on_round t =
         World_registry.build_adversary ~rng:(instance_stream root) ~params
           policy
       in
-      let env = Env.of_world (Adversary.world adv) ~k:t.k in
-      let algo = instantiate ~probe ~rng:(algo_stream root) t env in
+      let env =
+        Env.of_world (Adversary.world adv) ~k:t.k ~probe ~fault:fault_hook
+      in
+      let algo = instantiate ~probe ~rng:(algo_stream root) ?fault t env in
       let result = Runner.run ?max_rounds:t.max_rounds ?on_round ~probe algo env in
       let tree = Adversary.frozen adv in
       let stats = Bfdn_trees.Tree_stats.compute tree in
-      let env2 = Env.create tree ~k:t.k in
-      let algo2 = instantiate ~probe:Probe.noop ~rng:(algo_stream root) t env2 in
+      let fault2 = fault_plan t root in
+      let env2 =
+        Env.create tree ~k:t.k ~fault:(Bfdn_faults.Injector.hook_opt fault2)
+      in
+      let algo2 =
+        instantiate ~probe:Probe.noop ~rng:(algo_stream root) ?fault:fault2 t
+          env2
+      in
       let replay = Runner.run ?max_rounds:t.max_rounds algo2 env2 in
       {
         result;
@@ -349,8 +391,11 @@ let materialize t =
 let run_on_tree ?(probe = Probe.noop) ?on_round t tree =
   checked t;
   let root = Rng.create t.seed in
-  let env = Env.create tree ~k:t.k in
-  let algo = instantiate ~probe ~rng:(algo_stream root) t env in
+  let fault = fault_plan t root in
+  let env =
+    Env.create tree ~k:t.k ~probe ~fault:(Bfdn_faults.Injector.hook_opt fault)
+  in
+  let algo = instantiate ~probe ~rng:(algo_stream root) ?fault t env in
   let result = Runner.run ?max_rounds:t.max_rounds ?on_round ~probe algo env in
   {
     result;

@@ -34,6 +34,11 @@ type t = {
       (** advisory probe configuration: harnesses honouring it (the
           CLI) attach a metrics registry and print a dashboard; probes
           never alter results *)
+  faults : Param.binding list;
+      (** fault-injection schedule parameters ({!Fault_spec} schema);
+          [[]] = no faults. Compiled at run time into a
+          {!Bfdn_faults.Fault_plan} from the seed's dedicated fault
+          stream, so the schedule replays identically everywhere. *)
 }
 
 type outcome = {
@@ -53,10 +58,11 @@ val make :
   ?seed:int ->
   ?max_rounds:int ->
   ?metrics:bool ->
+  ?faults:Param.binding list ->
   instance ->
   t
-(** Defaults: [algo="bfdn"], [k=8], [seed=0], no round cap, no metrics.
-    Parameter bindings are canonicalized (sorted). *)
+(** Defaults: [algo="bfdn"], [k=8], [seed=0], no round cap, no metrics,
+    no faults. Parameter bindings are canonicalized (sorted). *)
 
 val world : ?params:Param.binding list -> string -> instance
 

@@ -6,6 +6,26 @@ type move = Stay | Up | Via_port of int
 
 type mask = round:int -> robot:robot -> bool
 
+(* Fault injection is a pair of pure predicates over (round, robot): the
+   same slot always answers the same, so select-time [allowed] and the
+   execution inside [apply] agree within a round. [fh_enabled] guards the
+   whole feature with a single immutable branch, keeping the no-faults
+   path identical to the pre-fault hot loop. *)
+type fault_hook = {
+  fh_enabled : bool;
+  fh_down : round:int -> robot:robot -> bool;
+  fh_restart : round:int -> robot:robot -> bool;
+  fh_may_restart : bool;
+}
+
+let fault_noop =
+  {
+    fh_enabled = false;
+    fh_down = (fun ~round:_ ~robot:_ -> false);
+    fh_restart = (fun ~round:_ ~robot:_ -> false);
+    fh_may_restart = false;
+  }
+
 type reactive_blocker = round:int -> selected:move array -> bool array
 
 (* The hidden side of the exploration: either a fixed tree, or a world
@@ -43,8 +63,10 @@ type t = {
   k : int;
   positions : int array;
   mask : mask;
+  fault : fault_hook;
   mutable blocker : reactive_blocker option;
   mutable round : int;
+  mutable restarts : int;
   mutable moves_total : int;
   moves_per_robot : int array;
   mutable edge_events : int;
@@ -60,7 +82,7 @@ type t = {
 }
 
 let of_world ?(mask = fun ~round:_ ~robot:_ -> true) ?(fixed = false)
-    ?(probe = Bfdn_obs.Probe.noop) world ~k =
+    ?(probe = Bfdn_obs.Probe.noop) ?(fault = fault_noop) world ~k =
   if k < 1 then invalid_arg "Env.create: k must be >= 1";
   let view = Partial_tree.Internal.create ~hidden_n:world.w_capacity ~root:world.w_root in
   Partial_tree.Internal.reveal view world.w_root ~parent:None
@@ -73,8 +95,10 @@ let of_world ?(mask = fun ~round:_ ~robot:_ -> true) ?(fixed = false)
     k;
     positions = Array.make k world.w_root;
     mask;
+    fault;
     blocker = None;
     round = 0;
+    restarts = 0;
     moves_total = 0;
     moves_per_robot = Array.make k 0;
     edge_events = 0;
@@ -87,8 +111,8 @@ let of_world ?(mask = fun ~round:_ ~robot:_ -> true) ?(fixed = false)
     arriving = Array.make world.w_capacity 0;
   }
 
-let create ?mask ?probe tree ~k =
-  of_world ?mask ?probe ~fixed:true (world_of_tree tree) ~k
+let create ?mask ?probe ?fault tree ~k =
+  of_world ?mask ?probe ?fault ~fixed:true (world_of_tree tree) ~k
 
 let set_reactive_blocker t blocker = t.blocker <- Some blocker
 
@@ -98,7 +122,9 @@ let round t = t.round
 let view t = t.view
 let position t i = t.positions.(i)
 let positions t = Array.copy t.positions
-let allowed t i = t.mask ~round:t.round ~robot:i
+let allowed t i =
+  t.mask ~round:t.round ~robot:i
+  && not (t.fault.fh_enabled && t.fault.fh_down ~round:t.round ~robot:i)
 
 let fully_explored t = Partial_tree.complete t.view
 
@@ -106,6 +132,7 @@ let all_at_root t =
   let root = Partial_tree.root t.view in
   Array.for_all (fun p -> p = root) t.positions
 
+let restarts t = t.restarts
 let moves_total t = t.moves_total
 let moves_of_robot t i = t.moves_per_robot.(i)
 let edge_events t = t.edge_events
@@ -147,10 +174,12 @@ let apply t moves =
         Some verdict
   in
   (* Count this round's allowance and pin masked robots. *)
+  let fault = t.fault in
   for i = 0 to t.k - 1 do
     t.eff.(i) <- Stay;
     if
       t.mask ~round:t.round ~robot:i
+      && not (fault.fh_enabled && fault.fh_down ~round:t.round ~robot:i)
       && (match reactive with None -> true | Some v -> v.(i))
     then begin
       t.allowed_total <- t.allowed_total + 1;
@@ -225,6 +254,18 @@ let apply t moves =
       end
     end
   done;
+  (* Crash-with-restart: a replacement robot comes online at the root at
+     the start of the next round. The teleport is not an edge traversal,
+     so it leaves every move/edge-event metric untouched. *)
+  if fault.fh_enabled && fault.fh_may_restart then begin
+    let root = Partial_tree.root t.view in
+    for i = 0 to t.k - 1 do
+      if fault.fh_restart ~round:t.round ~robot:i then begin
+        t.positions.(i) <- root;
+        t.restarts <- t.restarts + 1
+      end
+    done
+  end;
   t.round <- t.round + 1;
   if t.probe.Bfdn_obs.Probe.enabled then begin
     (* Every robot makes at most one effective move per round, so the

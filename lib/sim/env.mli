@@ -26,16 +26,47 @@ type move =
 
 type mask = round:int -> robot:robot -> bool
 
+type fault_hook = {
+  fh_enabled : bool;
+      (** immutable master switch; when [false] the predicates are never
+          called and the round loop is branch-identical to a fault-free
+          environment *)
+  fh_down : round:int -> robot:robot -> bool;
+      (** crashed or masked this round — pinned in place like a masked
+          robot, and reported as not {!allowed}. Must be pure: it is
+          consulted both at select time and inside {!apply}. *)
+  fh_restart : round:int -> robot:robot -> bool;
+      (** [true] at the end of round [r] teleports the robot to the root
+          before round [r+1] (a replacement robot coming online) *)
+  fh_may_restart : bool;
+      (** [false] lets {!apply} skip the per-robot restart sweep
+          entirely — set it iff the plan can never answer [fh_restart]
+          with [true] (e.g. all crashes are permanent) *)
+}
+(** Fault-injection hook threaded through the round loop. Compile one
+    from a fault plan with [Bfdn_faults.Injector.hook]. *)
+
+val fault_noop : fault_hook
+(** The disabled hook; default everywhere a [?fault] is accepted. *)
+
 type reactive_blocker = round:int -> selected:move array -> bool array
 (** Remark 8's stronger adversary: it observes the moves the robots have
     {e selected} this round before deciding who may move ([true] =
     allowed). Composed with the plain mask (both must allow a robot). *)
 
-val create : ?mask:mask -> ?probe:Bfdn_obs.Probe.t -> Bfdn_trees.Tree.t -> k:int -> t
+val create :
+  ?mask:mask ->
+  ?probe:Bfdn_obs.Probe.t ->
+  ?fault:fault_hook ->
+  Bfdn_trees.Tree.t ->
+  k:int ->
+  t
 (** [create tree ~k] places [k] robots on the root and reveals it.
     [mask] defaults to "always allowed". [probe] (default
     {!Bfdn_obs.Probe.noop}) receives an [on_round] callback after every
-    {!apply} with that round's moved/revealed/edge-event deltas. *)
+    {!apply} with that round's moved/revealed/edge-event deltas.
+    [fault] (default {!fault_noop}) injects crashes, restarts and
+    fault-plan masks into the round loop. *)
 
 (** {2 Lazily materialized worlds}
 
@@ -59,7 +90,13 @@ type world = {
 }
 
 val of_world :
-  ?mask:mask -> ?fixed:bool -> ?probe:Bfdn_obs.Probe.t -> world -> k:int -> t
+  ?mask:mask ->
+  ?fixed:bool ->
+  ?probe:Bfdn_obs.Probe.t ->
+  ?fault:fault_hook ->
+  world ->
+  k:int ->
+  t
 (** [fixed] (default [false]) declares that the world's [w_stats] never
     change after creation, letting {!Runner.run} compute its termination
     bound once instead of every round. {!create} sets it. *)
@@ -92,7 +129,10 @@ val set_reactive_blocker : t -> reactive_blocker -> unit
     under it; the library exposes it for experiments. *)
 
 val allowed : t -> robot -> bool
-(** Whether the mask allows this robot to move in the {e upcoming} round. *)
+(** Whether the mask {e and} the fault hook allow this robot to move in
+    the {e upcoming} round. A crashed robot reads as not allowed, which
+    is exactly the Section 4.2 break-down signal algorithms already
+    handle. *)
 
 val apply : t -> move array -> unit
 (** Execute one synchronous round with the given per-robot selections
@@ -106,6 +146,9 @@ val fully_explored : t -> bool
 val all_at_root : t -> bool
 
 (** {2 Metrics} *)
+
+val restarts : t -> int
+(** Number of crash-with-restart teleports executed so far. *)
 
 val moves_total : t -> int
 (** Total edge traversals performed (all robots, all rounds). *)

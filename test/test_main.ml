@@ -21,4 +21,5 @@ let () =
       Test_async.suite;
       Test_engine.suite;
       Test_scenario.suite;
+      Test_faults.suite;
     ]
