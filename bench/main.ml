@@ -24,7 +24,18 @@ let experiments =
     ("E15", E_engine.run);
     ("E16", E_hotpath.run);
     ("E17", E_faults.run);
+    ("E18", E_serve.run);
     ("A1", E_ablation.run);
+  ]
+
+(* Perf gates keyed by the committed report they compare against; a gate
+   only runs when its file exists, so a fresh checkout (or a new
+   experiment whose baseline has never been committed) still gates
+   cleanly on the others. *)
+let perf_gates =
+  [
+    (E_hotpath.report_path, E_hotpath.perf_gate);
+    (E_serve.report_path, E_serve.perf_gate);
   ]
 
 let () =
@@ -65,8 +76,13 @@ let () =
           exit 2)
     args;
   if !perf_gate then
-    (* CI regression tripwire: re-measure a committed-baseline subset. *)
-    E_hotpath.perf_gate ()
+    (* CI regression tripwire: re-measure a committed-baseline subset,
+       skipping gates whose baseline file is not committed yet. *)
+    List.iter
+      (fun (path, gate) ->
+        if Sys.file_exists path then gate ()
+        else Printf.printf "perf gate: %s not committed yet, skipped\n" path)
+      perf_gates
   else if !smoke then begin
     (* CI tripwire: tiny engine batches over every experiment family. *)
     Bench_common.scale := Bench_common.Quick;

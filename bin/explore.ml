@@ -4,6 +4,8 @@
    run       explore a tree scenario (flags or a --spec JSON file)
    sweep     run a whole instance batch on the parallel engine
    list      print every registered algorithm, world and adversary
+   serve     run the scenario-execution HTTP service
+   submit    POST a spec to a running service
    game      play the Section 3 balls-in-urns game
    regions   print the Figure 1 region map
    grid      sweep a warehouse grid with graph-BFDN
@@ -29,6 +31,9 @@ module Fault_spec = Bfdn_scenario.Fault_spec
 module Algo_registry = Bfdn_scenario.Algo_registry
 module World_registry = Bfdn_scenario.World_registry
 module Scenario = Bfdn_scenario.Scenario
+module Json = Bfdn_obs.Json
+module Server = Bfdn_serve.Server
+module Client = Bfdn_serve.Client
 
 (* ---- shared arguments ---- *)
 
@@ -318,8 +323,7 @@ let run_cmd =
 
 (* ---- list ---- *)
 
-let list_cmd =
-  let action () =
+let plain_list () =
     let schema_block params =
       let s = Param.describe_schema params in
       if s <> "" then print_string s
@@ -369,13 +373,26 @@ let list_cmd =
     List.iter
       (fun (name, doc) -> Printf.printf "  %-14s %s\n" name doc)
       Bfdn.Urn_game.adversaries
+
+let list_cmd =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the registries as machine-readable JSON — the same \
+             document a running service serves at GET /registry.")
+  in
+  let action json =
+    if json then print_endline (Json.to_string (Scenario.registry_json ()))
+    else plain_list ()
   in
   Cmd.v
     (Cmd.info "list"
        ~doc:
          "Print every registered algorithm, world and adversary policy with \
           its parameter schema.")
-    Term.(const action $ const ())
+    Term.(const action $ json_flag)
 
 (* ---- sweep ---- *)
 
@@ -757,6 +774,152 @@ let grid_cmd =
   let term = Term.(const action $ k_arg $ width $ height $ obstacles $ seed_arg) in
   Cmd.v (Cmd.info "grid" ~doc:"Sweep a warehouse grid with graph-BFDN.") term
 
+(* ---- serve ---- *)
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Bind / connect address.")
+
+let port_arg ~default =
+  Arg.(
+    value & opt int default
+    & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (0 picks an ephemeral one).")
+
+let serve_cmd =
+  let workers =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Engine pool domains (0 = the recommended domain count).")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int Server.default_config.Server.queue_cap
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:"In-flight job bound; past it POST /run answers 429.")
+  in
+  let cache_cap =
+    Arg.(
+      value & opt int Server.default_config.Server.cache_cap
+      & info [ "cache-cap" ] ~docv:"N"
+          ~doc:"Result-cache entries (0 disables caching).")
+  in
+  let timeout_s =
+    Arg.(
+      value & opt float Server.default_config.Server.timeout_s
+      & info [ "timeout-s" ] ~docv:"SECONDS"
+          ~doc:"Default per-job wall-clock timeout.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress lifecycle logging.")
+  in
+  let action host port workers queue_cap cache_cap timeout_s quiet =
+    let log =
+      if quiet then ignore
+      else fun line ->
+        Printf.eprintf "[serve] %s\n%!" line
+    in
+    let config =
+      {
+        Server.host;
+        port;
+        workers =
+          (if workers <= 0 then Server.default_config.Server.workers
+           else workers);
+        queue_cap;
+        cache_cap;
+        timeout_s;
+        log;
+      }
+    in
+    let server = Server.create config in
+    let stop _ = Server.stop server in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Server.run server
+  in
+  let term =
+    Term.(
+      const action $ host_arg $ port_arg ~default:8080 $ workers $ queue_cap
+      $ cache_cap $ timeout_s $ quiet)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the scenario-execution HTTP service: POST /run executes specs \
+          on the parallel engine with admission control and a fingerprint \
+          result cache; SIGTERM drains gracefully.")
+    term
+
+let submit_cmd =
+  let spec_file =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "spec" ] ~docv:"FILE" ~doc:"Scenario spec JSON file to submit.")
+  in
+  let no_wait =
+    Arg.(
+      value & flag
+      & info [ "no-wait" ]
+          ~doc:"Submit asynchronously (wait=0) and print the job ticket.")
+  in
+  let stream =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "After an asynchronous submit, follow GET /jobs/:id/stream and \
+             print each trace frame as it arrives.")
+  in
+  let action host port spec_file no_wait stream =
+    let body =
+      let ic = open_in_bin spec_file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let path = if no_wait || stream then "/run?wait=0" else "/run" in
+    match Client.request ~host ~port ~body ~meth:"POST" ~path () with
+    | Error msg ->
+        Printf.eprintf "submit failed: %s\n" msg;
+        exit 1
+    | Ok resp ->
+        print_endline resp.Client.body;
+        if stream && resp.Client.status = 202 then begin
+          let id =
+            match Json.of_string resp.Client.body with
+            | Ok j -> (
+                match Json.member "id" j with
+                | Some (Json.Int id) -> id
+                | _ -> failwith "no job id in response")
+            | Error e -> failwith e
+          in
+          match
+            Client.request ~host ~port ~meth:"GET"
+              ~path:(Printf.sprintf "/jobs/%d/stream" id)
+              ~on_chunk:print_string ()
+          with
+          | Ok _ -> ()
+          | Error msg ->
+              Printf.eprintf "stream failed: %s\n" msg;
+              exit 1
+        end
+        else if resp.Client.status >= 400 then exit 1
+  in
+  let term =
+    Term.(
+      const action $ host_arg $ port_arg ~default:8080 $ spec_file $ no_wait
+      $ stream)
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "POST a scenario spec to a running service and print the response \
+          (optionally following the live JSONL trace stream).")
+    term
+
 let () =
   let doc = "Collaborative tree exploration with Breadth-First Depth-Next (BFDN)." in
   let info = Cmd.info "bfdn-explore" ~version:"1.0.0" ~doc in
@@ -764,6 +927,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            run_cmd; sweep_cmd; list_cmd; game_cmd; regions_cmd; grid_cmd;
-            adversary_cmd; bounds_cmd;
+            run_cmd; sweep_cmd; list_cmd; serve_cmd; submit_cmd; game_cmd;
+            regions_cmd; grid_cmd; adversary_cmd; bounds_cmd;
           ]))

@@ -1,9 +1,19 @@
 module Clock = Bfdn_util.Clock
 module Probe = Bfdn_obs.Probe
 
+exception Cancelled
+
+type token = bool Atomic.t
+
+let token () = Atomic.make false
+let cancel tk = Atomic.set tk true
+let is_cancelled tk = Atomic.get tk
+let check tk = if Atomic.get tk then raise Cancelled
+
 type t = {
   n_workers : int;
-  queue : (int * (unit -> unit)) Queue.t; (* (submit timestamp ns, task) *)
+  queue : (int * token option * (unit -> unit)) Queue.t;
+      (* (submit timestamp ns, cancellation token, task) *)
   mutex : Mutex.t;
   nonempty : Condition.t;
   idle : Condition.t;
@@ -22,11 +32,17 @@ let worker t i () =
     done;
     if Queue.is_empty t.queue then Mutex.unlock t.mutex (* stopped: exit *)
     else begin
-      let submitted_ns, task = Queue.pop t.queue in
+      let submitted_ns, tok, task = Queue.pop t.queue in
       Mutex.unlock t.mutex;
+      (* A token cancelled while the task sat in the queue skips it
+         entirely — that is what lets the serve layer drop timed-out or
+         abandoned jobs without burning a worker on them. Running tasks
+         observe cancellation themselves via [check]. *)
+      let skip = match tok with Some tk -> is_cancelled tk | None -> false in
       (* Contain failures here so a raising task cannot kill the worker;
          result-level error reporting is layered on top (see Batch). *)
-      if t.probe.Probe.enabled then begin
+      if skip then ()
+      else if t.probe.Probe.enabled then begin
         let t0 = Clock.now_ns () in
         (try task () with _ -> ());
         let t1 = Clock.now_ns () in
@@ -71,7 +87,7 @@ let create ?(probe = Probe.noop) ?workers () =
 
 let workers t = t.n_workers
 
-let submit t f =
+let submit ?token t f =
   let submitted_ns = if t.probe.Probe.enabled then Clock.now_ns () else 0 in
   Mutex.lock t.mutex;
   if t.stopped then begin
@@ -79,7 +95,7 @@ let submit t f =
     invalid_arg "Pool.submit: pool is shut down"
   end;
   t.pending <- t.pending + 1;
-  Queue.push (submitted_ns, f) t.queue;
+  Queue.push (submitted_ns, token, f) t.queue;
   Condition.signal t.nonempty;
   Mutex.unlock t.mutex
 

@@ -27,8 +27,38 @@ val create : ?probe:Bfdn_obs.Probe.t -> ?workers:int -> unit -> t
 val workers : t -> int
 (** Number of worker domains actually spawned. *)
 
-val submit : t -> (unit -> unit) -> unit
-(** Enqueue a task. @raise Invalid_argument after {!shutdown}. *)
+(** {2 Cancellation}
+
+    A token is a domain-safe cancellation flag shared between a
+    submitter and its task. Cancelling a token whose task is still
+    queued makes the pool skip the task entirely when it is dequeued; a
+    task already running observes cancellation cooperatively by calling
+    {!check} at its own safe points (the serve layer does this from a
+    per-round hook, which is what makes wall-clock timeouts cancel
+    cleanly mid-run). *)
+
+exception Cancelled
+(** Raised by {!check}; contained by the worker loop like any other
+    task exception. *)
+
+type token
+
+val token : unit -> token
+(** A fresh, uncancelled token. *)
+
+val cancel : token -> unit
+(** Flip the flag (idempotent; callable from any domain). *)
+
+val is_cancelled : token -> bool
+
+val check : token -> unit
+(** @raise Cancelled when the token has been cancelled. *)
+
+val submit : ?token:token -> t -> (unit -> unit) -> unit
+(** Enqueue a task. A [token] cancelled before the task is dequeued
+    causes the pool to drop the task unrun (it still counts in
+    {!executed} and unblocks {!join} as usual).
+    @raise Invalid_argument after {!shutdown}. *)
 
 val join : t -> unit
 (** Block until every submitted task has finished (the queue is empty and

@@ -83,12 +83,31 @@ let to_string j =
    int), everything else as [Float] — the inverse of [emit], so values
    written by this module round-trip constructor-for-constructor. *)
 
-exception Parse of string
+type error = { msg : string; line : int; col : int; offset : int }
 
-let of_string s =
+let error_to_string { msg; line; col; offset } =
+  Printf.sprintf "%s at line %d, column %d (byte %d)" msg line col offset
+
+exception Parse of error
+
+(* 1-based line and byte column of [offset] in [s]. *)
+let position s offset =
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to min offset (String.length s) - 1 do
+    if s.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  (!line, offset - !bol + 1)
+
+let of_string_pos s =
   let n = String.length s in
   let pos = ref 0 in
-  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let fail msg =
+    let line, col = position s !pos in
+    raise (Parse { msg; line; col; offset = !pos })
+  in
   let peek () = if !pos < n then Some s.[!pos] else None in
   let skip_ws () =
     while
@@ -260,7 +279,9 @@ let of_string s =
     v
   with
   | v -> Ok v
-  | exception Parse msg -> Error msg
+  | exception Parse e -> Error e
+
+let of_string s = Result.map_error error_to_string (of_string_pos s)
 
 let member key = function
   | Obj kvs -> List.assoc_opt key kvs

@@ -26,12 +26,26 @@ val float_to_string : float -> string
 val escape : string -> string
 (** JSON string-body escaping (quotes not included). *)
 
-val of_string : string -> (t, string) result
+type error = { msg : string; line : int; col : int; offset : int }
+(** A parse failure with its position: [line]/[col] are 1-based ([col]
+    counts bytes since the last newline), [offset] is the 0-based byte
+    offset into the input. *)
+
+val error_to_string : error -> string
+(** ["<msg> at line L, column C (byte N)"]. *)
+
+val of_string_pos : string -> (t, error) result
 (** Parse a complete JSON document (standard JSON; trailing garbage is
     an error). Numbers without a fraction or exponent part decode as
     [Int], everything else as [Float] — the inverse of {!to_string}, so
     values emitted by this module round-trip constructor-for-constructor
-    (except non-finite floats, which were emitted as [null]). *)
+    (except non-finite floats, which were emitted as [null]). Failures
+    carry the position where parsing stopped, so callers (the serve
+    layer's HTTP 400 bodies, spec-file diagnostics) can point at the
+    offending byte. *)
+
+val of_string : string -> (t, string) result
+(** {!of_string_pos} with the error rendered by {!error_to_string}. *)
 
 val member : string -> t -> t option
 (** [member key j] is the value bound to [key] when [j] is an [Obj]

@@ -44,6 +44,78 @@ module Ring = struct
     t.pushed <- 0
 end
 
+module Stream = struct
+  type t = {
+    capacity : int;
+    q : Json.t Queue.t;
+    m : Mutex.t;
+    nonempty : Condition.t;
+    mutable pushed : int;
+    mutable dropped : int;
+    mutable closed : bool;
+  }
+
+  let create ?(capacity = 1024) () =
+    if capacity < 1 then invalid_arg "Sink.Stream.create: capacity must be >= 1";
+    {
+      capacity;
+      q = Queue.create ();
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      pushed = 0;
+      dropped = 0;
+      closed = false;
+    }
+
+  let capacity t = t.capacity
+
+  let push t j =
+    Mutex.lock t.m;
+    if not t.closed then begin
+      if Queue.length t.q >= t.capacity then begin
+        ignore (Queue.pop t.q);
+        t.dropped <- t.dropped + 1
+      end;
+      Queue.push j t.q;
+      t.pushed <- t.pushed + 1;
+      Condition.signal t.nonempty
+    end;
+    Mutex.unlock t.m
+
+  let close t =
+    Mutex.lock t.m;
+    t.closed <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.m
+
+  let closed t =
+    Mutex.lock t.m;
+    let c = t.closed in
+    Mutex.unlock t.m;
+    c
+
+  let pushed t =
+    Mutex.lock t.m;
+    let n = t.pushed in
+    Mutex.unlock t.m;
+    n
+
+  let dropped t =
+    Mutex.lock t.m;
+    let n = t.dropped in
+    Mutex.unlock t.m;
+    n
+
+  let next t =
+    Mutex.lock t.m;
+    while Queue.is_empty t.q && not t.closed do
+      Condition.wait t.nonempty t.m
+    done;
+    let r = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+    Mutex.unlock t.m;
+    r
+end
+
 let write_jsonl oc j =
   output_string oc (Json.to_string j);
   output_char oc '\n'

@@ -32,6 +32,42 @@ module Ring : sig
   val clear : 'a t -> unit
 end
 
+(** Bounded producer/consumer handoff of JSON frames between the domain
+    executing a run and a consumer streaming them out (the serve layer's
+    [GET /jobs/:id/stream]). Pushing past capacity drops the {e oldest}
+    frame — the producer (a round loop) is never blocked by a slow
+    consumer, matching the {!Ring} philosophy. All operations are
+    mutex-guarded and safe across domains and threads. *)
+module Stream : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Default capacity 1024 frames.
+      @raise Invalid_argument when capacity < 1. *)
+
+  val capacity : t -> int
+
+  val push : t -> Json.t -> unit
+  (** Never blocks: drops the oldest queued frame when full; a no-op
+      after {!close}. *)
+
+  val close : t -> unit
+  (** Wakes every blocked {!next}; further pushes are dropped.
+      Idempotent. *)
+
+  val closed : t -> bool
+
+  val pushed : t -> int
+  (** Total frames ever accepted (dropped ones included). *)
+
+  val dropped : t -> int
+  (** Frames discarded because the consumer lagged past capacity. *)
+
+  val next : t -> Json.t option
+  (** Block until a frame is available or the stream is closed; [None]
+      means closed-and-drained (the consumer's end-of-stream). *)
+end
+
 val write_jsonl : out_channel -> Json.t -> unit
 (** One compact JSON value plus a newline — the JSONL framing used by
     [explore run --trace]. The caller owns flushing/closing. *)

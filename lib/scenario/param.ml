@@ -109,6 +109,19 @@ let value_to_json = function
 let to_json bindings =
   Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) (canon bindings))
 
+let json_of_schema specs =
+  Json.List
+    (List.map
+       (fun s ->
+         Json.Obj
+           [
+             ("default", value_to_json s.default);
+             ("doc", Json.String s.doc);
+             ("key", Json.String s.key);
+             ("type", Json.String (type_name s.default));
+           ])
+       specs)
+
 let value_of_json = function
   | Json.Int i -> Ok (Int i)
   | Json.Float f -> Ok (Float f)

@@ -58,3 +58,8 @@ val to_json : binding list -> Bfdn_obs.Json.t
 val of_json : Bfdn_obs.Json.t -> (binding list, string) result
 (** Inverse of {!to_json}; accepts any member order and returns
     canonical bindings. *)
+
+val json_of_schema : spec list -> Bfdn_obs.Json.t
+(** Machine-readable schema dump: a list of
+    [{key, type, default, doc}] objects in schema order — the shape
+    served by [GET /registry] and [explore list --json]. *)

@@ -273,6 +273,107 @@ let of_json j =
 
 let to_string t = Json.to_string (to_json t)
 
+(* The canonical spec hash used as the serve layer's result-cache key.
+   The wire form is already canonical (fixed member order, sorted
+   params), so hashing it hashes the spec. [metrics] is advisory — it
+   never alters results (probes observe without perturbing) — so it is
+   normalized out: toggling a dashboard must not defeat the cache.
+   FNV-1a over Int64 keeps the value identical on every platform. *)
+let fingerprint t =
+  let wire = to_string { t with metrics = false } in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001b3L)
+    wire;
+  Printf.sprintf "%016Lx" !h
+
+(* Canonical serializable outcome — the "Report" body served (and
+   cached) by the serve layer. Field order is fixed and every value is
+   scalar, so same outcome ⇒ same bytes. *)
+let outcome_to_json (o : outcome) =
+  Json.Obj
+    [
+      ("rounds", Json.Int o.result.Runner.rounds);
+      ("explored", Json.Bool o.result.Runner.explored);
+      ("at_root", Json.Bool o.result.Runner.at_root);
+      ("moves", Json.Int o.result.Runner.moves);
+      ("edge_events", Json.Int o.result.Runner.edge_events);
+      ("hit_round_limit", Json.Bool o.result.Runner.hit_round_limit);
+      ( "replay_rounds",
+        match o.replay_rounds with None -> Json.Null | Some r -> Json.Int r );
+      ("n", Json.Int o.n);
+      ("depth", Json.Int o.depth);
+      ("max_degree", Json.Int o.max_degree);
+    ]
+
+(* Machine-readable dump of every dispatch table — one source shared by
+   [explore list --json] and the server's [GET /registry], so external
+   tooling never scrapes the human-format listing. *)
+let registry_json () =
+  let caps (c : Algo_registry.caps) =
+    Json.Obj
+      [
+        ("adaptive", Json.Bool c.adaptive);
+        ("async", Json.Bool c.async);
+        ("graph", Json.Bool c.graph);
+        ("tree", Json.Bool c.tree);
+      ]
+  in
+  let algorithms =
+    List.map
+      (fun (e : Algo_registry.entry) ->
+        Json.Obj
+          [
+            ("name", Json.String e.name);
+            ("aliases", Json.List (List.map (fun a -> Json.String a) e.aliases));
+            ("doc", Json.String e.doc);
+            ("caps", caps e.caps);
+            ("runnable", Json.Bool (e.make <> None));
+            ("params", Param.json_of_schema e.params);
+          ])
+      Algo_registry.all
+  in
+  let worlds =
+    List.map
+      (fun (e : World_registry.entry) ->
+        let kind =
+          match e.kind with
+          | World_registry.Tree _ -> "tree"
+          | World_registry.Grid _ -> "grid"
+        in
+        Json.Obj
+          [
+            ("name", Json.String e.name);
+            ("kind", Json.String kind);
+            ("doc", Json.String e.doc);
+            ("params", Param.json_of_schema e.params);
+          ])
+      World_registry.worlds
+  in
+  let policies =
+    List.map
+      (fun (p : World_registry.policy_entry) ->
+        Json.Obj
+          [
+            ("name", Json.String p.p_name);
+            ("doc", Json.String p.p_doc);
+            ("params", Param.json_of_schema p.p_params);
+          ])
+      World_registry.policies
+  in
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("algorithms", Json.List algorithms);
+      ("worlds", Json.List worlds);
+      ("policies", Json.List policies);
+      ("faults", Param.json_of_schema Fault_spec.schema);
+    ]
+
 let of_string s =
   let* j =
     match Json.of_string s with

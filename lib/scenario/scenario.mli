@@ -103,6 +103,29 @@ val save : path:string -> t -> unit
 
 val load : string -> (t, string) result
 
+val fingerprint : t -> string
+(** Canonical spec hash (16 lowercase hex chars): FNV-1a/64 over the
+    canonical wire form with the advisory [metrics] flag normalized to
+    [false]. Because [run] is a pure function of the spec (the
+    determinism oracle), equal fingerprints may soundly share a cached
+    result — this is the serve layer's result-cache key. Equal specs
+    (modulo [metrics]) hash equal; distinct specs collide only with
+    ~2⁻⁶⁴ probability (collision-freedom over the golden suite is
+    asserted in tests). *)
+
+val outcome_to_json : outcome -> Bfdn_obs.Json.t
+(** Canonical serializable outcome
+    [{rounds, explored, at_root, moves, edge_events, hit_round_limit,
+    replay_rounds, n, depth, max_degree}] with a fixed member order —
+    same outcome ⇒ same bytes, which is what makes cached and fresh
+    service responses byte-comparable. *)
+
+val registry_json : unit -> Bfdn_obs.Json.t
+(** Machine-readable dump of the algorithm/world/policy registries and
+    the fault schema:
+    [{schema_version, algorithms, worlds, policies, faults}]. Shared by
+    [explore list --json] and the server's [GET /registry]. *)
+
 (** {2 Execution} *)
 
 val run :

@@ -1,0 +1,107 @@
+type response = {
+  status : int;
+  headers : (string * string) list;
+  body : string;
+}
+
+let response_header name r =
+  List.assoc_opt (String.lowercase_ascii name) r.headers
+
+exception Bad of string
+
+let read_response ?on_chunk fd =
+  let r = Http.reader fd in
+  let status_line = Http.input_line_exn r in
+  let status =
+    match String.split_on_char ' ' status_line with
+    | _ :: code :: _ -> (
+        match int_of_string_opt code with
+        | Some c -> c
+        | None -> raise (Bad ("bad status line: " ^ status_line)))
+    | _ -> raise (Bad ("bad status line: " ^ status_line))
+  in
+  let headers = ref [] in
+  let rec read_headers () =
+    match Http.input_line_exn r with
+    | "" -> ()
+    | line ->
+        headers := Http.parse_header_exn line :: !headers;
+        read_headers ()
+  in
+  read_headers ();
+  let headers = List.rev !headers in
+  let body =
+    match
+      ( List.assoc_opt "transfer-encoding" headers,
+        List.assoc_opt "content-length" headers )
+    with
+    | Some te, _ when String.lowercase_ascii (String.trim te) <> "chunked" ->
+        raise (Bad ("unsupported transfer-encoding: " ^ te))
+    | Some _, _ ->
+        let out = Buffer.create 1024 in
+        let rec chunks () =
+          let size_line = String.trim (Http.input_line_exn r) in
+          let size =
+            match int_of_string_opt ("0x" ^ size_line) with
+            | Some n when n >= 0 -> n
+            | _ -> raise (Bad ("bad chunk size: " ^ size_line))
+          in
+          if size = 0 then
+            (* trailer line after the last chunk; tolerate a hangup *)
+            ignore (try Http.input_line_exn r with Http.Bad _ -> "")
+          else begin
+            let chunk = Http.read_exact_exn r size in
+            ignore (Http.input_line_exn r);
+            Buffer.add_string out chunk;
+            Option.iter (fun f -> f chunk) on_chunk;
+            chunks ()
+          end
+        in
+        chunks ();
+        Buffer.contents out
+    | _, Some cl -> (
+        match int_of_string_opt (String.trim cl) with
+        | Some n when n >= 0 -> Http.read_exact_exn r n
+        | _ -> raise (Bad ("bad Content-Length: " ^ cl)))
+    | None, None -> Http.read_to_eof_exn r
+  in
+  { status; headers; body }
+
+let request ?(host = "127.0.0.1") ?(port = 8080) ?body ?on_chunk ~meth ~path ()
+    =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+      with
+      | exception Unix.Unix_error (e, _, _) ->
+          Error
+            (Printf.sprintf "connect %s:%d: %s" host port
+               (Unix.error_message e))
+      | () -> (
+          let b = Buffer.create 256 in
+          Buffer.add_string b
+            (Printf.sprintf "%s %s HTTP/1.1\r\n"
+               (String.uppercase_ascii meth)
+               path);
+          Buffer.add_string b (Printf.sprintf "Host: %s:%d\r\n" host port);
+          (match body with
+          | Some body ->
+              Buffer.add_string b
+                (Printf.sprintf
+                   "Content-Type: application/json\r\nContent-Length: %d\r\n"
+                   (String.length body))
+          | None -> ());
+          Buffer.add_string b "Connection: close\r\n\r\n";
+          Option.iter (Buffer.add_string b) body;
+          match
+            Http.write_all fd (Buffer.contents b);
+            read_response ?on_chunk fd
+          with
+          | resp -> Ok resp
+          | exception Bad msg -> Error msg
+          | exception Http.Bad msg -> Error msg
+          | exception Unix.Unix_error (e, _, _) ->
+              Error (Unix.error_message e)))

@@ -1,0 +1,31 @@
+(** Blocking HTTP/1.1 client for the scenario service.
+
+    Speaks exactly the dialect {!Http} serves: one request per
+    connection, [Content-Length] bodies, chunked responses decoded
+    transparently. Used by the [explore submit] subcommand, the serve
+    test-suite and the E18 bench — which is the point: CI exercises the
+    real wire protocol, not an in-process shortcut. *)
+
+type response = {
+  status : int;
+  headers : (string * string) list;  (** names lowercased *)
+  body : string;  (** chunked responses: the concatenated chunks *)
+}
+
+val request :
+  ?host:string ->
+  ?port:int ->
+  ?body:string ->
+  ?on_chunk:(string -> unit) ->
+  meth:string ->
+  path:string ->
+  unit ->
+  (response, string) result
+(** One round-trip to [host:port] (default [127.0.0.1:8080]).
+    [on_chunk] fires per decoded chunk as it arrives (chunked responses
+    only) — the live half of [GET /jobs/:id/stream]; the full body is
+    still returned. [Error] covers refused connections and protocol
+    violations. *)
+
+val response_header : string -> response -> string option
+(** Case-insensitive header lookup. *)

@@ -1,0 +1,95 @@
+(** Bounded admission in front of the engine's Domain pool.
+
+    Tracks every admitted job from [Queued] through a terminal state,
+    enforces the in-flight bound (queued + running) that produces the
+    service's 429 backpressure, lets connection threads block until a
+    job settles, and coordinates the graceful drain: once draining, no
+    job is admitted and {!await_idle} returns when the last in-flight
+    job has settled.
+
+    All state is mutex-guarded; transitions broadcast a condition, so
+    any number of waiters (one per watching connection) may block on the
+    same job. Terminal jobs are pruned oldest-first past a retention
+    bound, so a long-lived server's job table stays O(bound). *)
+
+type state =
+  | Queued
+  | Running
+  | Done of string  (** the canonical result JSON body *)
+  | Failed of string
+  | Timeout
+  | Cancelled
+
+val state_name : state -> string
+(** ["queued"], ["running"], ["done"], ["failed"], ["timeout"],
+    ["cancelled"]. *)
+
+val is_terminal : state -> bool
+
+type job = {
+  id : int;
+  spec : Bfdn_scenario.Scenario.t;
+  fingerprint : string;
+  timeout_s : float;
+  stream : Bfdn_obs.Sink.Stream.t;  (** live trace frames of the run *)
+  token : Bfdn_engine.Pool.token;
+  mutable state : state;  (** read/written under the table's lock only *)
+  mutable timed_out : bool;
+      (** set (before cancelling the token) by the deadline check, so
+          the executor can tell a timeout from an external cancel *)
+}
+
+type t
+
+val create : ?cap:int -> ?keep_terminal:int -> unit -> t
+(** [cap] (default 64) bounds in-flight jobs; [keep_terminal] (default
+    256) bounds retained settled jobs. @raise Invalid_argument when
+    [cap < 1] or [keep_terminal < 0]. *)
+
+val cap : t -> int
+
+val admit :
+  t ->
+  timeout_s:float ->
+  fingerprint:string ->
+  Bfdn_scenario.Scenario.t ->
+  (job, [ `Full | `Draining ]) result
+(** Register a fresh [Queued] job, or refuse: [`Full] is the 429 path
+    (the caller never runs the job), [`Draining] the 503 path. *)
+
+val find : t -> int -> job option
+
+val mark_running : t -> job -> bool
+(** Executor entry: [Queued → Running], recording the start. [false]
+    when the job was cancelled while queued (the executor must skip
+    it). *)
+
+val settle : t -> job -> state -> unit
+(** Transition to a terminal state, close the job's stream and wake
+    every waiter. No-op if the job already settled (a drain-cancel and
+    the executor can race). @raise Invalid_argument on a non-terminal
+    argument. *)
+
+val await : t -> job -> state
+(** Block until the job settles; returns the terminal state. *)
+
+val state : t -> job -> state
+
+val inflight : t -> int
+(** Jobs currently queued or running. *)
+
+val retry_after_s : t -> int
+(** Advisory [Retry-After] seconds for a 429: a crude half-timeout
+    estimate, at least 1. *)
+
+val drain : t -> unit
+(** Stop admitting ([`Draining]) and cancel the tokens of still-queued
+    jobs so the pool skips them; running jobs finish normally. *)
+
+val draining : t -> bool
+
+val await_idle : t -> unit
+(** Block until no job is in flight (use after {!drain}). *)
+
+val jobs_admitted : t -> int
+(** Total jobs ever admitted. *)

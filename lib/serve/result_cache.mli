@@ -1,0 +1,42 @@
+(** Size-bounded LRU cache of canonical result bodies.
+
+    Keyed by {!Bfdn_scenario.Scenario.fingerprint}; values are the
+    pre-rendered result JSON strings, so a cache hit is served without
+    re-serialization and is byte-identical to the miss that populated
+    it. Soundness rests on the determinism oracle: same spec (hence same
+    fingerprint) ⇒ same result.
+
+    All operations are mutex-guarded — [put] is called from pool worker
+    domains, [find] from connection threads. *)
+
+type t
+
+val create : cap:int -> t
+(** Retain at most [cap] entries, evicting least-recently-used.
+    [cap = 0] disables the cache (every [find] misses, [put] is a
+    no-op). @raise Invalid_argument when [cap < 0]. *)
+
+val cap : t -> int
+
+val find : t -> string -> string option
+(** Lookup; a hit promotes the entry to most-recently-used and is
+    counted in {!stats}. *)
+
+val put : t -> string -> string -> unit
+(** Insert or refresh [key ↦ body] as most-recently-used, evicting from
+    the LRU end past capacity. Re-inserting an existing key replaces its
+    body (with deterministic runs both bodies are identical anyway). *)
+
+val mem : t -> string -> bool
+(** Like {!find} but without promoting or counting — for tests and
+    introspection. *)
+
+val length : t -> int
+
+val keys_mru : t -> string list
+(** Keys from most- to least-recently-used (tests pin eviction order
+    against this). *)
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+val stats : t -> stats

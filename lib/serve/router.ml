@@ -1,0 +1,45 @@
+type segment = Lit of string | Var of string
+
+type 'h route = { meth : string; segments : segment list; handler : 'h }
+
+let route ~meth pattern handler =
+  if String.length pattern = 0 || pattern.[0] <> '/' then
+    invalid_arg ("Router.route: pattern must start with '/': " ^ pattern);
+  let segments =
+    String.split_on_char '/' pattern
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun s ->
+           if s.[0] = ':' then
+             if String.length s = 1 then
+               invalid_arg ("Router.route: empty variable in " ^ pattern)
+             else Var (String.sub s 1 (String.length s - 1))
+           else Lit s)
+  in
+  { meth = String.uppercase_ascii meth; segments; handler }
+
+type 'h outcome =
+  | Match of 'h * (string * string) list
+  | Method_not_allowed of string list
+  | Not_found
+
+let rec bind segments path acc =
+  match (segments, path) with
+  | [], [] -> Some (List.rev acc)
+  | Lit l :: sr, p :: pr when String.equal l p -> bind sr pr acc
+  | Var v :: sr, p :: pr -> bind sr pr ((v, p) :: acc)
+  | _ -> None
+
+let dispatch routes ~meth ~path =
+  let meth = String.uppercase_ascii meth in
+  let rec go allowed = function
+    | [] ->
+        if allowed = [] then Not_found
+        else Method_not_allowed (List.sort_uniq compare allowed)
+    | r :: rest -> (
+        match bind r.segments path [] with
+        | None -> go allowed rest
+        | Some params ->
+            if String.equal r.meth meth then Match (r.handler, params)
+            else go (r.meth :: allowed) rest)
+  in
+  go [] routes

@@ -1,0 +1,23 @@
+(** Pattern-based request dispatch.
+
+    A route pattern is a path like ["/jobs/:id/stream"]: literal
+    segments must match exactly, [:name] segments bind the incoming
+    segment under [name]. Dispatch distinguishes an unknown path (404)
+    from a known path hit with the wrong method (405), so the server
+    can answer both correctly. *)
+
+type 'h route
+
+val route : meth:string -> string -> 'h -> 'h route
+(** [route ~meth:"GET" "/jobs/:id" h]. The pattern must start with '/'.
+    @raise Invalid_argument on an empty or malformed pattern. *)
+
+type 'h outcome =
+  | Match of 'h * (string * string) list
+      (** the handler plus the [:name] bindings, pattern order *)
+  | Method_not_allowed of string list
+      (** the path exists under these (sorted, deduplicated) methods *)
+  | Not_found
+
+val dispatch : 'h route list -> meth:string -> path:string list -> 'h outcome
+(** First matching route wins (registration order). *)

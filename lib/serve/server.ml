@@ -1,0 +1,421 @@
+module Json = Bfdn_obs.Json
+module Metrics = Bfdn_obs.Metrics
+module Probe = Bfdn_obs.Probe
+module Stream = Bfdn_obs.Sink.Stream
+module Clock = Bfdn_util.Clock
+module Pool = Bfdn_engine.Pool
+module Scenario = Bfdn_scenario.Scenario
+module Trace = Bfdn_sim.Trace
+module Q = Queue_admission
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  queue_cap : int;
+  cache_cap : int;
+  timeout_s : float;
+  log : string -> unit;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 8080;
+    workers = Domain.recommended_domain_count ();
+    queue_cap = 64;
+    cache_cap = 256;
+    timeout_s = 60.;
+    log = ignore;
+  }
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  adm : Q.t;
+  cache : Result_cache.t;
+  pool : Pool.t;
+  worker_regs : Metrics.t array;
+  (* HTTP-side counters live in their own registry behind a mutex:
+     connection threads share one domain but interleave at safepoints,
+     and /metrics folds the registry while requests are in flight. *)
+  http_reg : Metrics.t;
+  http_m : Mutex.t;
+  (* Per-job simulation registries are merged here by the worker domain
+     that ran the job. *)
+  jobs_reg : Metrics.t;
+  jobs_m : Mutex.t;
+  stopping : bool Atomic.t;
+  conn_m : Mutex.t;
+  conn_done : Condition.t;
+  mutable open_conns : int;
+  mutable requests : int;
+}
+
+let create config =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  let addr =
+    Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port)
+  in
+  Unix.bind fd addr;
+  Unix.listen fd 128;
+  let bound_port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  let workers = max 1 config.workers in
+  let worker_regs = Array.init workers (fun _ -> Metrics.create ()) in
+  {
+    config;
+    listen_fd = fd;
+    bound_port;
+    adm = Q.create ~cap:config.queue_cap ();
+    cache = Result_cache.create ~cap:config.cache_cap;
+    pool = Pool.create ~probe:(Probe.pool_probe worker_regs) ~workers ();
+    worker_regs;
+    http_reg = Metrics.create ();
+    http_m = Mutex.create ();
+    jobs_reg = Metrics.create ();
+    jobs_m = Mutex.create ();
+    stopping = Atomic.make false;
+    conn_m = Mutex.create ();
+    conn_done = Condition.create ();
+    open_conns = 0;
+    requests = 0;
+  }
+
+let port t = t.bound_port
+let request_count t = Mutex.lock t.conn_m; let n = t.requests in Mutex.unlock t.conn_m; n
+
+let count t name =
+  Mutex.lock t.http_m;
+  Metrics.incr (Metrics.counter t.http_reg name);
+  Mutex.unlock t.http_m
+
+let observe_latency t seconds =
+  Mutex.lock t.http_m;
+  Metrics.observe (Metrics.histogram t.http_reg "request_s") seconds;
+  Mutex.unlock t.http_m
+
+(* ---- response helpers ---- *)
+
+let respond_json fd ~status ?headers j =
+  Http.write_response fd ~status ?headers (Json.to_string j)
+
+let error_body msg = Json.Obj [ ("error", Json.String msg) ]
+
+(* ---- job execution (runs on a pool worker domain) ---- *)
+
+let exec t (job : Q.job) =
+  if Q.mark_running t.adm job then begin
+    let reg = Metrics.create () in
+    let deadline =
+      Clock.now_ns () + int_of_float (job.Q.timeout_s *. 1e9)
+    in
+    let on_round env =
+      Stream.push job.Q.stream (Trace.json_of_frame (Trace.frame_of_env env));
+      if Clock.now_ns () > deadline then begin
+        job.Q.timed_out <- true;
+        Pool.cancel job.Q.token
+      end;
+      Pool.check job.Q.token
+    in
+    (match Scenario.run ~probe:(Probe.of_metrics reg) ~on_round job.Q.spec with
+    | outcome ->
+        let body = Json.to_string (Scenario.outcome_to_json outcome) in
+        Result_cache.put t.cache job.Q.fingerprint body;
+        Q.settle t.adm job (Q.Done body)
+    | exception Pool.Cancelled ->
+        Q.settle t.adm job (if job.Q.timed_out then Q.Timeout else Q.Cancelled)
+    | exception e -> Q.settle t.adm job (Q.Failed (Printexc.to_string e)));
+    Mutex.lock t.jobs_m;
+    Metrics.merge_into ~into:t.jobs_reg reg;
+    Mutex.unlock t.jobs_m
+  end
+
+(* ---- handlers ---- *)
+
+(* The hit and miss response bodies embed the same pre-rendered result
+   string, so they are byte-identical apart from the cache marker. *)
+let result_body ~cache ~fingerprint body =
+  Printf.sprintf "{\"cache\":\"%s\",\"fingerprint\":\"%s\",\"result\":%s}"
+    cache fingerprint body
+
+let job_status_json (job : Q.job) st =
+  let base =
+    [
+      ("id", Json.Int job.Q.id);
+      ("status", Json.String (Q.state_name st));
+      ("fingerprint", Json.String job.Q.fingerprint);
+    ]
+  in
+  match st with
+  | Q.Failed msg -> Json.Obj (base @ [ ("error", Json.String msg) ])
+  | _ -> Json.Obj base
+
+let handle_run t req fd =
+  match Json.of_string_pos req.Http.body with
+  | Error e ->
+      count t "bad_requests";
+      respond_json fd ~status:400
+        (Json.Obj
+           [
+             ("error", Json.String "spec is not valid JSON");
+             ("detail", Json.String e.Json.msg);
+             ("line", Json.Int e.Json.line);
+             ("col", Json.Int e.Json.col);
+             ("offset", Json.Int e.Json.offset);
+           ])
+  | Ok j -> (
+      match
+        match Scenario.of_json j with
+        | Error msg -> Error msg
+        | Ok spec -> (
+            match Scenario.validate spec with
+            | Error msg -> Error msg
+            | Ok () -> Ok spec)
+      with
+      | Error msg ->
+          count t "bad_requests";
+          respond_json fd ~status:400 (error_body msg)
+      | Ok spec -> (
+          let fingerprint = Scenario.fingerprint spec in
+          match Result_cache.find t.cache fingerprint with
+          | Some body ->
+              count t "cache_hits";
+              Http.write_response fd ~status:200
+                (result_body ~cache:"hit" ~fingerprint body)
+          | None -> (
+              count t "cache_misses";
+              let timeout_s =
+                match Http.query_param "timeout_s" req with
+                | Some v -> (
+                    match float_of_string_opt v with
+                    | Some f when f > 0. -> f
+                    | _ -> t.config.timeout_s)
+                | None -> t.config.timeout_s
+              in
+              match Q.admit t.adm ~timeout_s ~fingerprint spec with
+              | Error `Full ->
+                  count t "rejected_busy";
+                  respond_json fd ~status:429
+                    ~headers:
+                      [
+                        ( "Retry-After",
+                          string_of_int (Q.retry_after_s t.adm) );
+                      ]
+                    (Json.Obj
+                       [
+                         ("error", Json.String "job queue is full");
+                         ("inflight", Json.Int (Q.inflight t.adm));
+                         ("cap", Json.Int (Q.cap t.adm));
+                       ])
+              | Error `Draining ->
+                  respond_json fd ~status:503
+                    (error_body "server is draining")
+              | Ok job -> (
+                  count t "jobs_admitted";
+                  Pool.submit ~token:job.Q.token t.pool (fun () -> exec t job);
+                  let async =
+                    match Http.query_param "wait" req with
+                    | Some ("0" | "false" | "no") -> true
+                    | _ -> false
+                  in
+                  if async then
+                    respond_json fd ~status:202 (job_status_json job Q.Queued)
+                  else
+                    match Q.await t.adm job with
+                    | Q.Done body ->
+                        Http.write_response fd ~status:200
+                          (result_body ~cache:"miss" ~fingerprint body)
+                    | Q.Timeout ->
+                        count t "timeouts";
+                        respond_json fd ~status:504
+                          (job_status_json job Q.Timeout)
+                    | Q.Cancelled ->
+                        respond_json fd ~status:503
+                          (job_status_json job Q.Cancelled)
+                    | Q.Failed msg ->
+                        respond_json fd ~status:500
+                          (job_status_json job (Q.Failed msg))
+                    | (Q.Queued | Q.Running) as st ->
+                        respond_json fd ~status:500 (job_status_json job st)))))
+
+let with_job t params fd k =
+  match List.assoc_opt "id" params with
+  | None -> respond_json fd ~status:400 (error_body "missing job id")
+  | Some raw -> (
+      match int_of_string_opt raw with
+      | None ->
+          respond_json fd ~status:400
+            (error_body (Printf.sprintf "malformed job id %S" raw))
+      | Some id -> (
+          match Q.find t.adm id with
+          | None ->
+              respond_json fd ~status:404
+                (error_body (Printf.sprintf "no such job %d" id))
+          | Some job -> k job))
+
+let handle_job_status t _req params fd =
+  with_job t params fd (fun job ->
+      match Q.state t.adm job with
+      | Q.Done body ->
+          Http.write_response fd ~status:200
+            (Printf.sprintf
+               "{\"id\":%d,\"status\":\"done\",\"fingerprint\":\"%s\",\"result\":%s}"
+               job.Q.id job.Q.fingerprint body)
+      | st -> respond_json fd ~status:200 (job_status_json job st))
+
+let handle_job_stream t _req params fd =
+  with_job t params fd (fun job ->
+      Http.start_chunked fd ~status:200 ();
+      let send j = Http.send_chunk fd (Json.to_string j ^ "\n") in
+      let rec pump () =
+        match Stream.next job.Q.stream with
+        | Some frame ->
+            send frame;
+            pump ()
+        | None -> ()
+      in
+      pump ();
+      send (job_status_json job (Q.state t.adm job));
+      Http.finish_chunked fd)
+
+let merged_metrics t =
+  let merged = Metrics.create () in
+  Mutex.lock t.http_m;
+  Metrics.merge_into ~into:merged t.http_reg;
+  Mutex.unlock t.http_m;
+  Mutex.lock t.jobs_m;
+  Metrics.merge_into ~into:merged t.jobs_reg;
+  Mutex.unlock t.jobs_m;
+  Array.iter (fun reg -> Metrics.merge_into ~into:merged reg) t.worker_regs;
+  merged
+
+let handle_metrics t _req _params fd =
+  let stats = Result_cache.stats t.cache in
+  respond_json fd ~status:200
+    (Json.Obj
+       [
+         ("metrics", Metrics.to_json (merged_metrics t));
+         ( "cache",
+           Json.Obj
+             [
+               ("hits", Json.Int stats.Result_cache.hits);
+               ("misses", Json.Int stats.Result_cache.misses);
+               ("evictions", Json.Int stats.Result_cache.evictions);
+               ("size", Json.Int stats.Result_cache.size);
+               ("cap", Json.Int (Result_cache.cap t.cache));
+             ] );
+         ( "jobs",
+           Json.Obj
+             [
+               ("admitted", Json.Int (Q.jobs_admitted t.adm));
+               ("inflight", Json.Int (Q.inflight t.adm));
+               ("queue_cap", Json.Int (Q.cap t.adm));
+             ] );
+         ("workers", Json.Int (Pool.workers t.pool));
+       ])
+
+let handle_registry _t _req _params fd =
+  respond_json fd ~status:200 (Scenario.registry_json ())
+
+let handle_health t _req _params fd =
+  respond_json fd ~status:200
+    (Json.Obj
+       [
+         ("status", Json.String "ok");
+         ("inflight", Json.Int (Q.inflight t.adm));
+         ("draining", Json.Bool (Q.draining t.adm));
+       ])
+
+let routes t =
+  [
+    Router.route ~meth:"POST" "/run" (fun req _params fd ->
+        handle_run t req fd);
+    Router.route ~meth:"GET" "/jobs/:id" (handle_job_status t);
+    Router.route ~meth:"GET" "/jobs/:id/stream" (handle_job_stream t);
+    Router.route ~meth:"GET" "/metrics" (handle_metrics t);
+    Router.route ~meth:"GET" "/registry" (handle_registry t);
+    Router.route ~meth:"GET" "/healthz" (handle_health t);
+  ]
+
+(* ---- connection loop ---- *)
+
+let handle_connection t routes fd =
+  let t0 = Clock.now_ns () in
+  (try
+     match Http.read_request (Http.reader fd) with
+     | Error msg ->
+         count t "bad_requests";
+         respond_json fd ~status:400 (error_body msg)
+     | Ok req -> (
+         count t "requests";
+         match
+           Router.dispatch routes ~meth:req.Http.meth ~path:req.Http.path
+         with
+         | Router.Match (handler, params) -> handler req params fd
+         | Router.Method_not_allowed allowed ->
+             respond_json fd ~status:405
+               ~headers:[ ("Allow", String.concat ", " allowed) ]
+               (error_body "method not allowed")
+         | Router.Not_found ->
+             respond_json fd ~status:404 (error_body "not found"))
+   with
+  | Unix.Unix_error _ -> () (* client went away mid-response *)
+  | e -> (
+      try respond_json fd ~status:500 (error_body (Printexc.to_string e))
+      with _ -> ()));
+  observe_latency t (float_of_int (Clock.now_ns () - t0) *. 1e-9);
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Mutex.lock t.conn_m;
+  t.open_conns <- t.open_conns - 1;
+  t.requests <- t.requests + 1;
+  if t.open_conns = 0 then Condition.broadcast t.conn_done;
+  Mutex.unlock t.conn_m
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    t.config.log "stop requested";
+    (* Wake a blocked [accept] — closing alone does not, on Linux. *)
+    try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+    with Unix.Unix_error _ -> ()
+  end
+
+let run t =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let routes = routes t in
+  t.config.log
+    (Printf.sprintf "listening on http://%s:%d (%d workers, queue %d, cache %d)"
+       t.config.host t.bound_port (Pool.workers t.pool) t.config.queue_cap
+       t.config.cache_cap);
+  let rec loop () =
+    if not (Atomic.get t.stopping) then
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+          Mutex.lock t.conn_m;
+          t.open_conns <- t.open_conns + 1;
+          Mutex.unlock t.conn_m;
+          ignore (Thread.create (fun () -> handle_connection t routes fd) ());
+          loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error
+          ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _) ->
+          if not (Atomic.get t.stopping) then loop ()
+  in
+  loop ();
+  t.config.log "draining";
+  Q.drain t.adm;
+  Q.await_idle t.adm;
+  Mutex.lock t.conn_m;
+  while t.open_conns > 0 do
+    Condition.wait t.conn_done t.conn_m
+  done;
+  Mutex.unlock t.conn_m;
+  Pool.shutdown t.pool;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  t.config.log "drained"

@@ -1,0 +1,65 @@
+(** The scenario-execution service.
+
+    A long-running HTTP/1.1 front end over the existing engine: specs
+    come in over [POST /run], are validated against the registries,
+    deduplicated against the {!Result_cache} by canonical fingerprint
+    and admitted through {!Queue_admission} onto a {!Bfdn_engine.Pool}
+    of worker domains; per-job wall-clock timeouts cancel cleanly
+    through {!Bfdn_engine.Pool.cancel} from a per-round hook, and
+    SIGTERM (via {!stop}) drains gracefully: stop accepting, cancel
+    queued jobs, let running jobs finish, shut the pool down.
+
+    Endpoints:
+    - [POST /run] — body: a {!Bfdn_scenario.Scenario} spec. Responds
+      [{cache, fingerprint, result}] with [cache] ["hit"] or ["miss"]
+      and [result] byte-identical either way. Malformed JSON → 400 with
+      a position-annotated error body; queue full → 429 +
+      [Retry-After]; draining → 503; per-job timeout → 504. Query
+      parameters: [wait=0] returns 202 [{id, status, fingerprint}]
+      immediately; [timeout_s=F] overrides the default job timeout.
+    - [GET /jobs/:id] — job status, with [result] once done.
+    - [GET /jobs/:id/stream] — chunked JSONL: one trace frame per
+      executed round, live, then a final status line.
+    - [GET /metrics] — merged obs registries (HTTP counters, per-job
+      simulation metrics, pool latency histograms) plus cache and
+      admission statistics.
+    - [GET /registry] — {!Bfdn_scenario.Scenario.registry_json}.
+    - [GET /healthz] — liveness and drain state. *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** [0] picks an ephemeral port (tests, bench) *)
+  workers : int;  (** engine pool domains *)
+  queue_cap : int;  (** admission bound (queued + running jobs) *)
+  cache_cap : int;  (** LRU entries; [0] disables caching *)
+  timeout_s : float;  (** default per-job wall-clock timeout *)
+  log : string -> unit;  (** one line per lifecycle event *)
+}
+
+val default_config : config
+(** [127.0.0.1:8080], recommended domain count, queue 64, cache 256,
+    60 s timeout, silent log. *)
+
+type t
+
+val create : config -> t
+(** Bind and listen (so a client may connect as soon as [create]
+    returns, even before {!run} starts accepting), spawn the worker
+    pool. @raise Unix.Unix_error when the address is unavailable. *)
+
+val port : t -> int
+(** The bound port — the ephemeral one when the config said [0]. *)
+
+val run : t -> unit
+(** Accept loop; returns after {!stop} has been called and the drain
+    completed (all in-flight jobs settled, all connections closed, pool
+    shut down). Installs [Signal_ignore] for SIGPIPE (a client hanging
+    up mid-stream must not kill the server); the caller owns SIGTERM
+    wiring (the CLI maps it to {!stop}). *)
+
+val stop : t -> unit
+(** Idempotent, callable from any thread or signal handler: stop
+    accepting, then let {!run} drain and return. *)
+
+val request_count : t -> int
+(** Requests handled so far (tests). *)

@@ -22,4 +22,5 @@ let () =
       Test_engine.suite;
       Test_scenario.suite;
       Test_faults.suite;
+      Test_serve.suite;
     ]

@@ -1,0 +1,498 @@
+(* Tests for the scenario-execution service: fingerprint soundness over
+   the golden suite, the LRU result cache (eviction order, byte-identical
+   hit/miss, concurrent access), HTTP framing and routing units, admission
+   backpressure, and — over real sockets — end-to-end determinism
+   (an HTTP submission reproduces the in-process outcome byte for byte),
+   timeout cancellation leaving the pool usable, and graceful drain. *)
+
+module Json = Bfdn_obs.Json
+module Param = Bfdn_scenario.Param
+module Scenario = Bfdn_scenario.Scenario
+module Http = Bfdn_serve.Http
+module Router = Bfdn_serve.Router
+module Result_cache = Bfdn_serve.Result_cache
+module Q = Bfdn_serve.Queue_admission
+module Server = Bfdn_serve.Server
+module Client = Bfdn_serve.Client
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+let check_sl = Alcotest.(check (list string))
+
+(* ---- fingerprint ---- *)
+
+(* The 42 golden configs of test_golden.ml: 7 families × 3 anchor
+   policies × shortcut ∈ {false, true}. *)
+let golden_specs () =
+  let families =
+    [ "comb"; "binary"; "random"; "trap"; "caterpillar"; "spider"; "hidden-path" ]
+  and policies = [ "least-loaded"; "first-open"; "random-open" ] in
+  let specs = ref [] in
+  let idx = ref 0 in
+  List.iter
+    (fun family ->
+      List.iter
+        (fun policy ->
+          List.iter
+            (fun shortcut ->
+              let seed = 1000 + !idx in
+              incr idx;
+              specs :=
+                Scenario.make ~algo:"bfdn"
+                  ~algo_params:
+                    [
+                      ("policy", Param.String policy);
+                      ("shortcut", Param.Bool shortcut);
+                    ]
+                  ~k:9 ~seed
+                  (Scenario.generated ~family ~n:500 ~depth_hint:12)
+                :: !specs)
+            [ false; true ])
+        policies)
+    families;
+  !specs
+
+let test_fingerprint_collision_free () =
+  let fps = List.map Scenario.fingerprint (golden_specs ()) in
+  checki "42 golden configs" 42 (List.length fps);
+  let distinct = List.sort_uniq compare fps in
+  checki "all fingerprints distinct" 42 (List.length distinct);
+  List.iter
+    (fun fp ->
+      checki "16 hex chars" 16 (String.length fp);
+      String.iter
+        (fun c ->
+          checkb "lowercase hex" true
+            ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+        fp)
+    fps
+
+let test_fingerprint_ignores_metrics_flag () =
+  let spec =
+    Scenario.make ~k:4 ~seed:11 (Scenario.generated ~family:"comb" ~n:60 ~depth_hint:5)
+  in
+  checks "metrics flag is advisory"
+    (Scenario.fingerprint { spec with Scenario.metrics = false })
+    (Scenario.fingerprint { spec with Scenario.metrics = true });
+  checkb "seed is load-bearing" false
+    (String.equal
+       (Scenario.fingerprint spec)
+       (Scenario.fingerprint { spec with Scenario.seed = 12 }))
+
+(* ---- result cache ---- *)
+
+let test_cache_lru_eviction () =
+  let c = Result_cache.create ~cap:3 in
+  Result_cache.put c "a" "1";
+  Result_cache.put c "b" "2";
+  Result_cache.put c "c" "3";
+  check_sl "mru order after fills" [ "c"; "b"; "a" ] (Result_cache.keys_mru c);
+  (* touching [a] promotes it, so [b] is now the eviction candidate *)
+  checkb "find a" true (Result_cache.find c "a" = Some "1");
+  Result_cache.put c "d" "4";
+  check_sl "b evicted, not a" [ "d"; "a"; "c" ] (Result_cache.keys_mru c);
+  checkb "b gone" false (Result_cache.mem c "b");
+  let s = Result_cache.stats c in
+  checki "one eviction" 1 s.Result_cache.evictions;
+  checki "size tracks" 3 s.Result_cache.size;
+  (* refreshing an existing key neither grows nor evicts *)
+  Result_cache.put c "c" "3'";
+  checki "refresh keeps size" 3 (Result_cache.length c);
+  checkb "refresh replaces body" true (Result_cache.find c "c" = Some "3'")
+
+let test_cache_zero_cap_disabled () =
+  let c = Result_cache.create ~cap:0 in
+  Result_cache.put c "a" "1";
+  checkb "never stores" true (Result_cache.find c "a" = None);
+  checki "empty" 0 (Result_cache.length c)
+
+let test_cache_hit_is_byte_identical () =
+  let c = Result_cache.create ~cap:8 in
+  let body = {|{"rounds":202,"explored":true}|} in
+  Result_cache.put c "fp" body;
+  match Result_cache.find c "fp" with
+  | None -> Alcotest.fail "expected a hit"
+  | Some got -> checks "hit returns the stored bytes" body got
+
+let test_cache_concurrent_access () =
+  (* 4 threads hammer a small cache with overlapping keys; the point is
+     absence of torn state: every hit must return the exact body written
+     for its key, and the final size must respect the cap. *)
+  let c = Result_cache.create ~cap:8 in
+  let body_of k = "body:" ^ k in
+  let errors = Atomic.make 0 in
+  let worker t =
+    for i = 0 to 499 do
+      let k = Printf.sprintf "k%d" ((i + t) mod 12) in
+      (match Result_cache.find c k with
+      | Some v when v <> body_of k -> Atomic.incr errors
+      | _ -> ());
+      Result_cache.put c k (body_of k)
+    done
+  in
+  let threads = List.init 4 (fun t -> Thread.create worker t) in
+  List.iter Thread.join threads;
+  checki "no torn reads" 0 (Atomic.get errors);
+  checkb "cap respected" true (Result_cache.length c <= 8);
+  let s = Result_cache.stats c in
+  checki "finds all accounted" (4 * 500) (s.Result_cache.hits + s.Result_cache.misses)
+
+(* ---- http framing ---- *)
+
+let parse_request raw =
+  let r, w = Unix.pipe () in
+  let writer = Thread.create (fun () ->
+      Http.write_all w raw;
+      Unix.close w)
+      ()
+  in
+  let res = Http.read_request (Http.reader r) in
+  Thread.join writer;
+  Unix.close r;
+  res
+
+let test_http_parse_request () =
+  match
+    parse_request
+      "POST /run?wait=0&x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\nX-Mixed-Case: V \r\n\r\nbody"
+  with
+  | Error e -> Alcotest.fail e
+  | Ok req ->
+      checks "method" "POST" req.Http.meth;
+      check_sl "path segments" [ "run" ] req.Http.path;
+      checkb "query decoded" true
+        (Http.query_param "wait" req = Some "0" && Http.query_param "x" req = Some "1");
+      checkb "headers lowercased, values trimmed" true
+        (Http.header "x-mixed-case" req = Some "V"
+        && Http.header "X-Mixed-Case" req = Some "V");
+      checks "body" "body" req.Http.body
+
+let test_http_parse_rejects () =
+  List.iter
+    (fun (what, raw) ->
+      checkb what true (Result.is_error (parse_request raw)))
+    [
+      ("malformed request line", "GET\r\n\r\n");
+      ("not http", "GET / FTP/1.1\r\n\r\n");
+      ("bad content-length", "GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n");
+      ( "body too large",
+        "POST / HTTP/1.1\r\nContent-Length: 1048577\r\n\r\n" );
+      ("eof mid-headers", "GET / HTTP/1.1\r\nHost: h\r\n");
+      ( "too many headers",
+        "GET / HTTP/1.1\r\n"
+        ^ String.concat ""
+            (List.init 65 (fun i -> Printf.sprintf "H%d: v\r\n" i))
+        ^ "\r\n" );
+    ]
+
+(* ---- router ---- *)
+
+let test_router_dispatch () =
+  let routes =
+    [
+      Router.route ~meth:"GET" "/jobs/:id/stream" `Stream;
+      Router.route ~meth:"GET" "/jobs/:id" `Status;
+      Router.route ~meth:"POST" "/run" `Run;
+    ]
+  in
+  (match Router.dispatch routes ~meth:"GET" ~path:[ "jobs"; "7"; "stream" ] with
+  | Router.Match (`Stream, params) ->
+      checkb "captures id" true (List.assoc_opt "id" params = Some "7")
+  | _ -> Alcotest.fail "expected stream match");
+  (match Router.dispatch routes ~meth:"GET" ~path:[ "run" ] with
+  | Router.Method_not_allowed allowed -> check_sl "allow list" [ "POST" ] allowed
+  | _ -> Alcotest.fail "expected 405");
+  match Router.dispatch routes ~meth:"GET" ~path:[ "nope" ] with
+  | Router.Not_found -> ()
+  | _ -> Alcotest.fail "expected 404"
+
+(* ---- json position errors ---- *)
+
+let test_json_position_errors () =
+  match Json.of_string_pos "{\"a\": 1,\n  \"b\": nope}" with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e ->
+      checki "line" 2 e.Json.line;
+      checkb "column points into line 2" true (e.Json.col >= 7 && e.Json.col <= 9);
+      checkb "offset consistent with line/col" true (e.Json.offset >= 14);
+      checkb "message survives rendering" true
+        (String.length (Json.error_to_string e) > 0)
+
+(* ---- admission ---- *)
+
+let spec_small =
+  Scenario.make ~k:4 ~seed:3 (Scenario.generated ~family:"comb" ~n:60 ~depth_hint:5)
+
+let test_admission_bound_and_drain () =
+  let q = Q.create ~cap:2 () in
+  let admit () = Q.admit q ~timeout_s:1.0 ~fingerprint:"fp" spec_small in
+  let j1 = Result.get_ok (admit ()) in
+  let j2 = Result.get_ok (admit ()) in
+  (match admit () with
+  | Error `Full -> ()
+  | _ -> Alcotest.fail "expected `Full past the cap");
+  checki "inflight" 2 (Q.inflight q);
+  checkb "retry-after positive" true (Q.retry_after_s q >= 1);
+  Q.settle q j1 (Q.Done "{}");
+  checkb "slot freed" true (Result.is_ok (admit ()));
+  Q.drain q;
+  (match admit () with
+  | Error `Draining -> ()
+  | _ -> Alcotest.fail "expected `Draining");
+  (* drain cancelled the still-queued jobs; settling is idempotent *)
+  checkb "queued jobs cancelled by drain" true (Q.state q j2 = Q.Cancelled);
+  Q.await_idle q;
+  checki "idle after drain" 0 (Q.inflight q);
+  checkb "await returns the terminal state" true (Q.await q j1 = Q.Done "{}")
+
+(* ---- end-to-end over real sockets ---- *)
+
+let with_server ?(workers = 2) ?(queue_cap = 64) ?(cache_cap = 256)
+    ?(timeout_s = 60.) f =
+  let config =
+    {
+      Server.default_config with
+      Server.port = 0;
+      workers;
+      queue_cap;
+      cache_cap;
+      timeout_s;
+    }
+  in
+  let srv = Server.create config in
+  let th = Thread.create Server.run srv in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Thread.join th)
+    (fun () -> f (Server.port srv))
+
+let post_run ?(query = "") port body =
+  match
+    Client.request ~port ~body ~meth:"POST" ~path:("/run" ^ query) ()
+  with
+  | Ok resp -> resp
+  | Error msg -> Alcotest.fail ("POST /run: " ^ msg)
+
+let get port path =
+  match Client.request ~port ~meth:"GET" ~path () with
+  | Ok resp -> resp
+  | Error msg -> Alcotest.fail ("GET " ^ path ^ ": " ^ msg)
+
+let member_string name body =
+  match Json.of_string body with
+  | Ok j -> (
+      match Json.member name j with
+      | Some (Json.String s) -> Some s
+      | _ -> None)
+  | Error _ -> None
+
+let test_e2e_determinism_and_cache () =
+  with_server (fun port ->
+      let wire = Scenario.to_string spec_small in
+      let expected =
+        Json.to_string (Scenario.outcome_to_json (Scenario.run spec_small))
+      in
+      let miss = post_run port wire in
+      checki "first submission runs" 200 miss.Client.status;
+      checkb "marked miss" true (member_string "cache" miss.Client.body = Some "miss");
+      let hit = post_run port wire in
+      checki "second submission cached" 200 hit.Client.status;
+      checkb "marked hit" true (member_string "cache" hit.Client.body = Some "hit");
+      (* the embedded result must be byte-identical to the in-process
+         run, and the hit and miss bodies must differ only in the cache
+         marker *)
+      let result_of body =
+        match Json.of_string body with
+        | Ok j -> (
+            match Json.member "result" j with
+            | Some r -> Json.to_string r
+            | None -> Alcotest.fail "no result member")
+        | Error e -> Alcotest.fail e
+      in
+      checks "HTTP result = in-process outcome" expected (result_of miss.Client.body);
+      checks "hit byte-identical to miss" (result_of miss.Client.body)
+        (result_of hit.Client.body);
+      (* metrics flag must not defeat the cache *)
+      let with_metrics =
+        Scenario.to_string { spec_small with Scenario.metrics = true }
+      in
+      checkb "metrics variant hits too" true
+        (member_string "cache" (post_run port with_metrics).Client.body = Some "hit"))
+
+let test_e2e_concurrent_clients () =
+  with_server (fun port ->
+      let wire = Scenario.to_string spec_small in
+      let expected =
+        Json.to_string (Scenario.outcome_to_json (Scenario.run spec_small))
+      in
+      let results = Array.make 4 None in
+      let client i =
+        match Client.request ~port ~body:wire ~meth:"POST" ~path:"/run" () with
+        | Ok resp -> results.(i) <- Some resp
+        | Error _ -> ()
+      in
+      let threads = List.init 4 (fun i -> Thread.create client i) in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i r ->
+          match r with
+          | None -> Alcotest.fail (Printf.sprintf "client %d got no response" i)
+          | Some resp ->
+              checki (Printf.sprintf "client %d status" i) 200 resp.Client.status;
+              checkb
+                (Printf.sprintf "client %d result bytes" i)
+                true
+                (let b = resp.Client.body in
+                 (* the result segment is the canonical outcome either way *)
+                 match Json.of_string b with
+                 | Ok j -> (
+                     match Json.member "result" j with
+                     | Some r -> String.equal (Json.to_string r) expected
+                     | None -> false)
+                 | Error _ -> false))
+        results)
+
+let test_e2e_bad_spec_400 () =
+  with_server (fun port ->
+      let resp = post_run port "{\"a\": 1,\n  \"b\": nope}" in
+      checki "malformed json is 400" 400 resp.Client.status;
+      (match Json.of_string resp.Client.body with
+      | Ok j ->
+          checkb "error body carries the position" true
+            (Json.member "line" j = Some (Json.Int 2)
+            && Json.member "offset" j <> None)
+      | Error e -> Alcotest.fail e);
+      let resp =
+        post_run port
+          {|{"schema_version":1,"world":{"name":"comb"},"algo":{"name":"zap"},"k":1,"seed":0}|}
+      in
+      checki "unknown algorithm is 400" 400 resp.Client.status;
+      let resp = get port "/nope" in
+      checki "unknown path is 404" 404 resp.Client.status)
+
+let spec_wire_other =
+  Scenario.to_string
+    (Scenario.make ~k:4 ~seed:6 (Scenario.generated ~family:"comb" ~n:60 ~depth_hint:5))
+
+let test_e2e_backpressure_429 () =
+  (* one worker, admission bound 1: while the first job occupies the
+     slot, the second submission must be refused up front — 429 with a
+     Retry-After — without ever running. *)
+  with_server ~workers:1 ~queue_cap:1 ~cache_cap:0 (fun port ->
+      let slow =
+        Scenario.to_string
+          (Scenario.make ~k:4 ~seed:5
+             (Scenario.generated ~family:"random" ~n:20000 ~depth_hint:40))
+      in
+      let first = post_run ~query:"?wait=0" port slow in
+      checki "slow job admitted" 202 first.Client.status;
+      let refused = post_run ~query:"?wait=0" port spec_wire_other in
+      checki "second refused while full" 429 refused.Client.status;
+      checkb "retry-after advertised" true
+        (match Client.response_header "Retry-After" refused with
+        | Some v -> int_of_string_opt v <> None
+        | None -> false);
+      checkb "refused without running" true
+        (member_string "error" refused.Client.body <> None))
+
+let test_e2e_timeout_cancels_cleanly () =
+  with_server ~workers:1 ~cache_cap:0 (fun port ->
+      let big =
+        Scenario.to_string
+          (Scenario.make ~k:4 ~seed:5
+             (Scenario.generated ~family:"random" ~n:50000 ~depth_hint:60))
+      in
+      let resp = post_run ~query:"?timeout_s=0.005" port big in
+      checki "timed-out job is 504" 504 resp.Client.status;
+      checkb "reported as timeout" true
+        (member_string "status" resp.Client.body = Some "timeout");
+      (* the pool must still be usable after the cancellation *)
+      let ok = post_run port (Scenario.to_string spec_small) in
+      checki "pool survives the cancel" 200 ok.Client.status)
+
+let test_e2e_stream_and_status () =
+  with_server ~workers:1 (fun port ->
+      let wire = Scenario.to_string spec_small in
+      let ticket = post_run ~query:"?wait=0" port wire in
+      checki "async submit accepted" 202 ticket.Client.status;
+      let id =
+        match Json.of_string ticket.Client.body with
+        | Ok j -> (
+            match Json.member "id" j with
+            | Some (Json.Int id) -> id
+            | _ -> Alcotest.fail "no id in ticket")
+        | Error e -> Alcotest.fail e
+      in
+      let stream = get port (Printf.sprintf "/jobs/%d/stream" id) in
+      checki "stream responds" 200 stream.Client.status;
+      let lines =
+        String.split_on_char '\n' (String.trim stream.Client.body)
+      in
+      checkb "at least one frame plus the status line" true (List.length lines >= 2);
+      let last = List.nth lines (List.length lines - 1) in
+      checkb "final line settles the job" true
+        (member_string "status" last = Some "done");
+      List.iteri
+        (fun i line ->
+          if i < List.length lines - 1 then
+            match Json.of_string line with
+            | Ok j -> checkb "frame has a round" true (Json.member "round" j <> None)
+            | Error e -> Alcotest.fail e)
+        lines;
+      let status = get port (Printf.sprintf "/jobs/%d" id) in
+      checki "status endpoint" 200 status.Client.status;
+      checkb "done with result" true
+        (member_string "status" status.Client.body = Some "done"))
+
+let test_e2e_registry_and_metrics () =
+  with_server (fun port ->
+      let reg = get port "/registry" in
+      checki "registry ok" 200 reg.Client.status;
+      checks "registry = Scenario.registry_json"
+        (Json.to_string (Scenario.registry_json ()))
+        reg.Client.body;
+      ignore (post_run port (Scenario.to_string spec_small));
+      let m = get port "/metrics" in
+      checki "metrics ok" 200 m.Client.status;
+      match Json.of_string m.Client.body with
+      | Error e -> Alcotest.fail e
+      | Ok j ->
+          checkb "has metrics and cache sections" true
+            (Json.member "metrics" j <> None && Json.member "cache" j <> None))
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "fingerprint collision-free over golden suite" `Quick
+        test_fingerprint_collision_free;
+      Alcotest.test_case "fingerprint ignores the metrics flag" `Quick
+        test_fingerprint_ignores_metrics_flag;
+      Alcotest.test_case "cache LRU eviction order" `Quick test_cache_lru_eviction;
+      Alcotest.test_case "cache cap 0 disables" `Quick test_cache_zero_cap_disabled;
+      Alcotest.test_case "cache hit is byte-identical" `Quick
+        test_cache_hit_is_byte_identical;
+      Alcotest.test_case "cache concurrent access" `Quick
+        test_cache_concurrent_access;
+      Alcotest.test_case "http request parsing" `Quick test_http_parse_request;
+      Alcotest.test_case "http rejects malformed framing" `Quick
+        test_http_parse_rejects;
+      Alcotest.test_case "router dispatch" `Quick test_router_dispatch;
+      Alcotest.test_case "json errors carry positions" `Quick
+        test_json_position_errors;
+      Alcotest.test_case "admission bound and drain" `Quick
+        test_admission_bound_and_drain;
+      Alcotest.test_case "e2e determinism and cache hit" `Quick
+        test_e2e_determinism_and_cache;
+      Alcotest.test_case "e2e concurrent clients agree" `Quick
+        test_e2e_concurrent_clients;
+      Alcotest.test_case "e2e malformed spec is 400" `Quick test_e2e_bad_spec_400;
+      Alcotest.test_case "e2e full queue is 429" `Quick test_e2e_backpressure_429;
+      Alcotest.test_case "e2e timeout cancels cleanly" `Quick
+        test_e2e_timeout_cancels_cleanly;
+      Alcotest.test_case "e2e stream and job status" `Quick
+        test_e2e_stream_and_status;
+      Alcotest.test_case "e2e registry and metrics endpoints" `Quick
+        test_e2e_registry_and_metrics;
+    ] )
