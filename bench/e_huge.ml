@@ -1,0 +1,350 @@
+(* E19 — huge scale tier: millions-of-nodes instances on the succinct
+   flat-array storage with lazily materialized worlds. Each measurement
+   runs in its own subprocess (re-exec of this binary with a hidden
+   --huge-probe argument) so VmHWM — the kernel's monotone per-process
+   high-water mark — attributes peak RSS to exactly one configuration.
+
+   Three claims land in BENCH_huge.json:
+   - throughput: rounds/sec of full explorations at n = 10^6, k up to
+     10^4, on lazy worlds, with the GC pause histogram from the
+     Gc_probe round hook;
+   - memory: a bounded exploration of an n = 10^6 world holds
+     O(explored) state under scale=lazy — its peak RSS must stay a
+     small fraction (target <= ~25%) of the same run against the fully
+     materialized eager instance;
+   - reach: a bounded prefix of an n = 10^7 world completes in seconds
+     and tens of MB, which the eager tier cannot represent cheaply.
+
+   The gate row (n = 10^5, k = 256, fixed whatever --quick/--full says)
+   feeds both the CI smoke assertion (--huge-smoke) and the perf gate
+   (--perf-gate, >= 0.6x the committed rounds/sec). *)
+
+open Bench_common
+module Table = Bfdn_util.Table
+module Json = Bfdn_obs.Json
+module Gc_probe = Bfdn_obs.Gc_probe
+module Lazy_world = Bfdn_sim.Lazy_world
+module Partial_tree = Bfdn_sim.Partial_tree
+
+let report_path = "BENCH_huge.json"
+
+(* ---- probe protocol ---- *)
+
+type spec = {
+  sp_mode : string; (* "lazy" | "eager" (eager = materialized baseline) *)
+  sp_family : string;
+  sp_n : int;
+  sp_depth_hint : int;
+  sp_k : int;
+  sp_max_rounds : int; (* 0 = run to full exploration *)
+}
+
+let spec_to_arg s =
+  Printf.sprintf "mode=%s,family=%s,n=%d,depth_hint=%d,k=%d,max_rounds=%d"
+    s.sp_mode s.sp_family s.sp_n s.sp_depth_hint s.sp_k s.sp_max_rounds
+
+let spec_of_arg str =
+  let kv = ref [] in
+  List.iter
+    (fun part ->
+      match String.index_opt part '=' with
+      | Some i ->
+          kv :=
+            ( String.sub part 0 i,
+              String.sub part (i + 1) (String.length part - i - 1) )
+            :: !kv
+      | None -> failwith ("e_huge: malformed probe spec field " ^ part))
+    (String.split_on_char ',' str);
+  let str k = try List.assoc k !kv with Not_found -> failwith ("e_huge: probe spec missing " ^ k) in
+  let int k = int_of_string (str k) in
+  {
+    sp_mode = str "mode";
+    sp_family = str "family";
+    sp_n = int "n";
+    sp_depth_hint = int "depth_hint";
+    sp_k = int "k";
+    sp_max_rounds = int "max_rounds";
+  }
+
+(* One measurement, in-process. The GC probe ticks from the runner's
+   round hook, so the pause histogram is at exploration-round
+   granularity — exactly the stall number a robot round would observe. *)
+let measure_spec s =
+  let reg = Metrics.create () in
+  let gc = Gc_probe.create reg in
+  let lw =
+    Lazy_world.make ~family:s.sp_family ~n:s.sp_n ~depth_hint:s.sp_depth_hint
+      ~seed
+  in
+  let env =
+    match s.sp_mode with
+    | "lazy" -> Env.of_world (Lazy_world.world lw) ~k:s.sp_k
+    | "eager" ->
+        (* Fully materialized baseline: the same instance (identical
+           rules, run to exhaustion) as a plain up-front tree. *)
+        Env.create (Lazy_world.materialize lw) ~k:s.sp_k
+    | m -> failwith ("e_huge: unknown probe mode " ^ m)
+  in
+  let algo = Bfdn.Bfdn_algo.algo (Bfdn.Bfdn_algo.make env) in
+  let on_round _ = Gc_probe.tick gc in
+  let t0 = Batch.now () in
+  let r =
+    if s.sp_max_rounds > 0 then
+      Runner.run ~max_rounds:s.sp_max_rounds ~on_round algo env
+    else Runner.run ~on_round algo env
+  in
+  let wall = Batch.now () -. t0 in
+  Gc_probe.snapshot gc;
+  Gc_probe.dispose gc;
+  let pauses =
+    match Metrics.find_histogram reg "gc_pause_ns" with
+    | Some h -> Metrics.hist_count h
+    | None -> 0
+  in
+  let revealed = Partial_tree.num_explored (Env.view env) in
+  Engine_report.Obj
+    [
+      ("mode", Engine_report.String s.sp_mode);
+      ("family", Engine_report.String s.sp_family);
+      ("n", Engine_report.Int s.sp_n);
+      ("k", Engine_report.Int s.sp_k);
+      ("max_rounds", Engine_report.Int s.sp_max_rounds);
+      ("rounds", Engine_report.Int r.Runner.rounds);
+      ("explored", Engine_report.Bool r.Runner.explored);
+      ("edge_events", Engine_report.Int r.Runner.edge_events);
+      ("nodes_revealed", Engine_report.Int revealed);
+      ("wall_seconds", Engine_report.Float wall);
+      ( "rounds_per_sec",
+        Engine_report.Float
+          (float_of_int r.Runner.rounds /. Float.max 1e-9 wall) );
+      ( "peak_rss_bytes",
+        match Engine_report.peak_rss_bytes () with
+        | Some b -> Engine_report.Int b
+        | None -> Engine_report.Null );
+      ("gc_major_cycles", Engine_report.Int (Gc_probe.major_cycles gc));
+      ("gc_pauses", Engine_report.Int pauses);
+      ("gc_metrics", Metrics.to_json reg);
+    ]
+
+(* Entry point of the hidden --huge-probe=<spec> argument: one
+   measurement on an otherwise fresh process, one JSON line on stdout. *)
+let probe_main arg =
+  let j = measure_spec (spec_of_arg arg) in
+  print_string (Engine_report.to_string j);
+  print_newline ()
+
+(* ---- parent side: spawn probes, collect rows ---- *)
+
+let run_probe s =
+  let cmd =
+    Filename.quote_command Sys.executable_name
+      [ "--huge-probe=" ^ spec_to_arg s ]
+  in
+  let ic = Unix.open_process_in cmd in
+  let out = In_channel.input_all ic in
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> (
+      match Json.of_string (String.trim out) with
+      | Ok j -> j
+      | Error msg -> failwith ("e_huge: probe output: " ^ msg))
+  | _ -> failwith ("e_huge: probe failed: " ^ cmd)
+
+let jint j key =
+  match Json.member key j with
+  | Some (Engine_report.Int v) -> v
+  | _ -> failwith ("e_huge: probe row missing int " ^ key)
+
+let jfloat j key =
+  match Json.member key j with
+  | Some (Engine_report.Float v) -> v
+  | Some (Engine_report.Int v) -> float_of_int v
+  | _ -> failwith ("e_huge: probe row missing float " ^ key)
+
+let jbool j key =
+  match Json.member key j with
+  | Some (Engine_report.Bool v) -> v
+  | _ -> failwith ("e_huge: probe row missing bool " ^ key)
+
+let rss_mb j = float_of_int (jint j "peak_rss_bytes") /. (1024. *. 1024.)
+
+(* ---- configurations ---- *)
+
+let lazy_spec ?(mode = "lazy") ?(max_rounds = 0) family depth_hint n k =
+  {
+    sp_mode = mode;
+    sp_family = family;
+    sp_n = n;
+    sp_depth_hint = depth_hint;
+    sp_k = k;
+    sp_max_rounds = max_rounds;
+  }
+
+(* Full explorations at the million-node tier; k spans 2^10 to 10^4. *)
+let throughput_specs () =
+  let n = sized 1_000_000 in
+  [
+    lazy_spec "binary" 20 n 1024;
+    lazy_spec "random" 25 n 1024;
+    lazy_spec "binary" 20 n 10_000;
+  ]
+
+(* Bounded prefix of an n = 10^7 world: only the explored region is ever
+   materialized (at most k reveals per round), so this stays in tens of
+   MB where the eager tier would hold gigabytes. *)
+let reach_spec () =
+  lazy_spec ~max_rounds:300 "random" 25 (sized 10_000_000) 1024
+
+(* The memory claim: identical bounded run, lazy vs fully materialized.
+   64 rounds at k = 256 reveal a few thousand nodes of the million. *)
+let rss_specs () =
+  let n = sized 1_000_000 in
+  ( lazy_spec ~max_rounds:64 "random" 25 n 256,
+    lazy_spec ~mode:"eager" ~max_rounds:64 "random" 25 n 256 )
+
+(* Target for lazy/eager peak RSS on the bounded run. The headline claim
+   is <= ~25%; the recorded bar leaves room for base-process RSS noise. *)
+let rss_ratio_budget = 0.30
+
+(* Gate row: fixed size whatever the scale flag says, so the committed
+   number is comparable across runs (and cheap enough for CI). *)
+let gate_spec =
+  { sp_mode = "lazy"; sp_family = "binary"; sp_n = 100_000;
+    sp_depth_hint = 20; sp_k = 256; sp_max_rounds = 0 }
+
+(* CI ceiling for the gate row's peak RSS: a full n = 10^5 lazy
+   exploration holds a few tens of MB of per-node state on top of the
+   base process image. *)
+let smoke_rss_ceiling_bytes = 256 * 1024 * 1024
+
+let run () =
+  header "E19 (huge tier)"
+    "millions-of-nodes worlds: throughput, peak RSS and GC pauses under \
+     lazy materialization";
+  let t =
+    Table.create
+      ~caption:
+        "per-subprocess measurements (VmHWM peak RSS; GC ticked per round)"
+      [
+        ("mode", Table.Left); ("family", Table.Left); ("n", Table.Right);
+        ("k", Table.Right); ("rounds", Table.Right); ("done", Table.Left);
+        ("rounds/s", Table.Right); ("RSS MB", Table.Right);
+        ("gc maj", Table.Right); ("pauses", Table.Right);
+      ]
+  in
+  let add_row j =
+    Table.add_row t
+      [
+        (match Json.member "mode" j with
+        | Some (Engine_report.String s) -> s
+        | _ -> "?");
+        (match Json.member "family" j with
+        | Some (Engine_report.String s) -> s
+        | _ -> "?");
+        Table.fint (jint j "n"); Table.fint (jint j "k");
+        Table.fint (jint j "rounds");
+        (if jbool j "explored" then "full" else "prefix");
+        Table.ffloat ~decimals:0 (jfloat j "rounds_per_sec");
+        Table.ffloat ~decimals:1 (rss_mb j);
+        Table.fint (jint j "gc_major_cycles"); Table.fint (jint j "gc_pauses");
+      ]
+  in
+  let throughput = List.map run_probe (throughput_specs ()) in
+  List.iter add_row throughput;
+  let reach = run_probe (reach_spec ()) in
+  add_row reach;
+  let rss_lazy_spec, rss_eager_spec = rss_specs () in
+  let rss_lazy = run_probe rss_lazy_spec in
+  let rss_eager = run_probe rss_eager_spec in
+  add_row rss_lazy;
+  add_row rss_eager;
+  let gate = run_probe gate_spec in
+  add_row gate;
+  Table.print t;
+  let ratio =
+    float_of_int (jint rss_lazy "peak_rss_bytes")
+    /. float_of_int (max 1 (jint rss_eager "peak_rss_bytes"))
+  in
+  Printf.printf
+    "bounded n=%d run: lazy peak RSS %.1f MB vs materialized %.1f MB — \
+     %.0f%% (target <= %.0f%%) %s\n"
+    (jint rss_lazy "n") (rss_mb rss_lazy) (rss_mb rss_eager) (100. *. ratio)
+    (100. *. rss_ratio_budget)
+    (if ratio <= rss_ratio_budget then "ok" else "FAIL");
+  Engine_report.write ~path:report_path
+    (Engine_report.Obj
+       (Engine_report.meta ~seed ~workers:1
+       @ [
+           ("label", Engine_report.String "E19 huge scale tier");
+           ( "scale",
+             Engine_report.String
+               (match !scale with
+               | Quick -> "quick"
+               | Normal -> "normal"
+               | Full -> "full") );
+           ("throughput", Engine_report.List throughput);
+           ("reach", reach);
+           ( "rss_comparison",
+             Engine_report.Obj
+               [
+                 ("lazy", rss_lazy);
+                 ("eager", rss_eager);
+                 ("lazy_over_eager", Engine_report.Float ratio);
+                 ("budget", Engine_report.Float rss_ratio_budget);
+                 ("ok", Engine_report.Bool (ratio <= rss_ratio_budget));
+               ] );
+           ("gate", gate);
+         ]));
+  Printf.printf "report written to %s\n" report_path
+
+(* ---- CI smoke (--huge-smoke): the gate row must fully explore within
+   an absolute RSS ceiling ---- *)
+
+let smoke () =
+  let j = run_probe gate_spec in
+  let rss = jint j "peak_rss_bytes" in
+  let explored = jbool j "explored" in
+  let rounds = jint j "rounds" in
+  Printf.printf
+    "huge smoke: n=%d k=%d rounds=%d explored=%b peak RSS %.1f MB (ceiling \
+     %d MB)\n"
+    (jint j "n") (jint j "k") rounds explored (rss_mb j)
+    (smoke_rss_ceiling_bytes / (1024 * 1024));
+  (* The binary family snaps to a complete tree (2^d - 1 nodes, rounding
+     n up), so the revealed count is checked against a range. *)
+  explored && rounds > 0
+  && jint j "nodes_revealed" > gate_spec.sp_n / 2
+  && jint j "nodes_revealed" <= 2 * gate_spec.sp_n
+  && rss > 0
+  && rss <= smoke_rss_ceiling_bytes
+
+(* ---- perf gate (--perf-gate): the gate row's rounds/sec must stay
+   within [gate_floor] of the committed BENCH_huge.json ---- *)
+
+let gate_floor = 0.6
+
+let perf_gate () =
+  header "PERF GATE (huge)"
+    (Printf.sprintf "gate row rounds/s must stay >= %.2fx the committed %s"
+       gate_floor report_path);
+  let doc = In_channel.with_open_text report_path In_channel.input_all in
+  let committed =
+    match Json.of_string doc with
+    | Error msg -> failwith (report_path ^ ": " ^ msg)
+    | Ok j -> (
+        match Json.member "gate" j with
+        | Some g -> jfloat g "rounds_per_sec"
+        | None -> failwith (report_path ^ ": no gate member"))
+  in
+  let j = run_probe gate_spec in
+  let rps = jfloat j "rounds_per_sec" in
+  let ratio = rps /. Float.max 1e-9 committed in
+  let ok = ratio >= gate_floor in
+  Printf.printf "  %-6s n=%d k=%d %s %11.0f r/s vs committed %11.0f (%.2fx)\n"
+    gate_spec.sp_family gate_spec.sp_n gate_spec.sp_k
+    (if ok then "ok  " else "FAIL")
+    rps committed ratio;
+  if not ok then begin
+    Printf.printf "perf gate: huge tier regressed past %.2fx\n" gate_floor;
+    exit 1
+  end;
+  Printf.printf "perf gate: huge tier within budget\n"

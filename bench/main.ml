@@ -4,7 +4,8 @@
    EXPERIMENTS.md for the index.
 
    Usage: dune exec bench/main.exe -- [--quick|--full] [--no-micro]
-          [--only E1,E3,...] [--jobs=N] [--profile] [--smoke] [--perf-gate] *)
+          [--only E1,E3,...] [--jobs=N] [--profile] [--smoke] [--huge-smoke]
+          [--perf-gate] *)
 
 let experiments =
   [
@@ -25,6 +26,7 @@ let experiments =
     ("E16", E_hotpath.run);
     ("E17", E_faults.run);
     ("E18", E_serve.run);
+    ("E19", E_huge.run);
     ("A1", E_ablation.run);
   ]
 
@@ -36,12 +38,26 @@ let perf_gates =
   [
     (E_hotpath.report_path, E_hotpath.perf_gate);
     (E_serve.report_path, E_serve.perf_gate);
+    (E_huge.report_path, E_huge.perf_gate);
   ]
 
 let () =
+  (* Hidden re-exec entry: one E19 measurement in a fresh process so
+     VmHWM attributes peak RSS to exactly that configuration. Must be
+     dispatched before any other argument handling. *)
+  (match
+     List.find_opt
+       (fun a -> String.length a > 13 && String.sub a 0 13 = "--huge-probe=")
+       (List.tl (Array.to_list Sys.argv))
+   with
+  | Some arg ->
+      E_huge.probe_main (String.sub arg 13 (String.length arg - 13));
+      exit 0
+  | None -> ());
   let only = ref None in
   let micro = ref true in
   let smoke = ref false in
+  let huge_smoke = ref false in
   let perf_gate = ref false in
   let args = List.tl (Array.to_list Sys.argv) in
   List.iter
@@ -52,6 +68,7 @@ let () =
       | "--no-micro" -> micro := false
       | "--profile" -> Bench_common.profile := true
       | "--smoke" -> smoke := true
+      | "--huge-smoke" -> huge_smoke := true
       | "--perf-gate" -> perf_gate := true
       | _ when String.length arg > 7 && String.sub arg 0 7 = "--only=" ->
           only :=
@@ -71,7 +88,7 @@ let () =
           Printf.eprintf
             "unknown argument %s\n\
              usage: main.exe [--quick|--full] [--no-micro] [--only=E1,E2,...]\n\
-            \       [--jobs=N] [--profile] [--smoke] [--perf-gate]\n"
+            \       [--jobs=N] [--profile] [--smoke] [--huge-smoke] [--perf-gate]\n"
             arg;
           exit 2)
     args;
@@ -83,6 +100,15 @@ let () =
         if Sys.file_exists path then gate ()
         else Printf.printf "perf gate: %s not committed yet, skipped\n" path)
       perf_gates
+  else if !huge_smoke then begin
+    (* CI tripwire for the huge scale tier: the E19 gate row must fully
+       explore within its RSS ceiling (see E_huge.smoke). *)
+    if not (E_huge.smoke ()) then begin
+      Printf.eprintf "huge smoke FAILED\n";
+      exit 1
+    end;
+    print_endline "huge smoke ok"
+  end
   else if !smoke then begin
     (* CI tripwire: tiny engine batches over every experiment family. *)
     Bench_common.scale := Bench_common.Quick;

@@ -148,6 +148,25 @@ let run_cmd =
       & info [ "max-rounds" ] ~docv:"R"
           ~doc:"Round cap (default: the Section 2.1 termination bound).")
   in
+  let scale =
+    Arg.(
+      value
+      & opt (enum [ ("eager", "eager"); ("lazy", "lazy") ]) "eager"
+      & info [ "scale" ] ~docv:"SCALE"
+          ~doc:
+            "World materialization: $(b,eager) builds the instance up \
+             front, $(b,lazy) generates nodes at reveal so the run holds \
+             O(explored) memory — the huge tier (supported families only).")
+  in
+  let rss =
+    Arg.(
+      value
+      & flag
+      & info [ "rss" ]
+          ~doc:
+            "Print the process's peak resident set (VmHWM) after the run \
+             (Linux only).")
+  in
   let spec_file =
     Arg.(
       value
@@ -208,7 +227,7 @@ let run_cmd =
       & info [ "dump-tree" ] ~docv:"FILE" ~doc:"Write the instance to a file for later replay.")
   in
   let action spec_file dump_spec smoke family algo_name n depth params k seed
-      max_rounds trace watch metrics tree_file dump_tree =
+      max_rounds scale rss trace watch metrics tree_file dump_tree =
     let spec =
       match spec_file with
       | Some file -> (
@@ -225,9 +244,18 @@ let run_cmd =
             parse_bindings ~what:"--param fault.*" ~schema:Fault_spec.schema
               fault_kvs
           in
+          let world_params =
+            (* Same binding order as Scenario.generated, so eager specs
+               keep their exact wire form. *)
+            [ ("depth_hint", Param.Int depth); ("n", Param.Int n) ]
+            @ (* Only an explicit scale=lazy is serialized: the default
+                 keeps wire forms (and fingerprints) of eager specs
+                 unchanged. *)
+            (if scale = "lazy" then [ ("scale", Param.String "lazy") ] else [])
+          in
           Scenario.make ~algo:algo_name ~algo_params ~k ~seed ?max_rounds
             ~metrics ~faults
-            (Scenario.generated ~family ~n ~depth_hint:depth)
+            (Scenario.world ~params:world_params family)
     in
     let spec = if metrics then { spec with Scenario.metrics = true } else spec in
     (match Scenario.validate spec with
@@ -307,14 +335,20 @@ let run_cmd =
               print_string
                 (Sink.dashboard ~title:(spec.Scenario.algo ^ " metrics") m)
           | None -> ());
+          if rss then
+            (match Report.peak_rss_bytes () with
+            | Some b ->
+                Printf.printf "peak RSS            : %.1f MB\n"
+                  (float_of_int b /. (1024. *. 1024.))
+            | None -> print_endline "peak RSS            : unavailable");
           if result.hit_round_limit then exit 1
         end
   in
   let term =
     Term.(
       const action $ spec_file $ dump_spec $ smoke $ family $ algo_name $ n
-      $ depth $ params $ k_arg $ seed_arg $ max_rounds $ trace $ watch $ metrics
-      $ tree_file $ dump_tree)
+      $ depth $ params $ k_arg $ seed_arg $ max_rounds $ scale $ rss $ trace
+      $ watch $ metrics $ tree_file $ dump_tree)
   in
   Cmd.v
     (Cmd.info "run"

@@ -39,13 +39,17 @@ type t = {
   ft : ft option;
   probe : Bfdn_obs.Probe.t; (* anchor-switch and idle-robot hooks *)
   robots : rstate array;
-  anchor_load : int array;
+  (* Per-node scratch tracks the view's growable id space
+     ({!Partial_tree.id_bound}), re-ensured at the top of every select:
+     on a lazily materialized huge world the algorithm holds O(explored)
+     state instead of O(capacity). *)
+  mutable anchor_load : int array;
   (* Cursor over the ports of each node: everything before it is known to
      be non-dangling (or dangling-but-selected-this-round, hence resolved
      by the end of the round). Keeps the depth-next dangling lookup O(1)
      amortized even on high-degree nodes. *)
-  dangle_cursor : int array;
-  reanchor_counts : int array; (* indexed by anchor depth *)
+  mutable dangle_cursor : int array;
+  mutable reanchor_counts : int array; (* indexed by anchor depth *)
   mutable reanchors_total : int;
   mutable summary_sent : bool; (* probe reanchor summary fired once *)
   (* Round-local count of dangling edges selected by earlier robots at
@@ -53,8 +57,8 @@ type t = {
      pairs: the ports selected at a node within one round are always the
      first unselected dangling ports past the cursor (each robot takes the
      next one), so a count per node identifies them exactly. *)
-  sel_stamp : int array;
-  sel_cnt : int array;
+  mutable sel_stamp : int array;
+  mutable sel_cnt : int array;
   mutable sel_epoch : int;
   moves : Env.move array; (* returned by select, refilled each round *)
   (* Cached [Via_port p] values indexed by port, so routing and depth-next
@@ -66,7 +70,7 @@ type t = {
 let make ?(policy = Least_loaded) ?(shortcut = false)
     ?(probe = Bfdn_obs.Probe.noop) ?(fault_tolerant = false) ?(suspect_after = 4)
     ?drop env =
-  let n = Env.capacity env in
+  let n = Partial_tree.id_bound (Env.view env) in
   let root = Partial_tree.root (Env.view env) in
   if suspect_after < 1 then
     invalid_arg "Bfdn_algo.make: suspect_after must be >= 1";
@@ -94,7 +98,7 @@ let make ?(policy = Least_loaded) ?(shortcut = false)
        load.(root) <- Env.k env;
        load);
     dangle_cursor = Array.make n 0;
-    reanchor_counts = Array.make (Env.capacity env + 2) 0;
+    reanchor_counts = Array.make (min (Env.capacity env + 2) (n + 2)) 0;
     reanchors_total = 0;
     summary_sent = false;
     sel_stamp = Array.make n (-1);
@@ -103,6 +107,31 @@ let make ?(policy = Least_loaded) ?(shortcut = false)
     moves = Array.make (Env.k env) Env.Stay;
     via = Array.init 8 (fun p -> Env.Via_port p);
   }
+
+(* Growth preserves contents and the 0/-1 defaults, so behaviour is
+   byte-identical to a full preallocation; only ids below
+   [Partial_tree.id_bound] (explored nodes) are ever indexed. *)
+let grow_int_array a cap fill =
+  let bigger = Array.make cap fill in
+  Array.blit a 0 bigger 0 (Array.length a);
+  bigger
+
+let ensure_nodes t =
+  let need = Partial_tree.id_bound (Env.view t.env) in
+  if need > Array.length t.anchor_load then begin
+    let cap = max need (2 * Array.length t.anchor_load) in
+    t.anchor_load <- grow_int_array t.anchor_load cap 0;
+    t.dangle_cursor <- grow_int_array t.dangle_cursor cap 0;
+    t.sel_stamp <- grow_int_array t.sel_stamp cap (-1);
+    t.sel_cnt <- grow_int_array t.sel_cnt cap 0
+  end
+
+let ensure_depth t d =
+  if d + 1 >= Array.length t.reanchor_counts then
+    t.reanchor_counts <-
+      grow_int_array t.reanchor_counts
+        (max (d + 2) (2 * Array.length t.reanchor_counts))
+        0
 
 let via t p =
   let len = Array.length t.via in
@@ -210,6 +239,7 @@ let reanchor t i =
   t.anchor_load.(v) <- t.anchor_load.(v) + 1;
   fill_route view r pos v;
   let d = Partial_tree.depth_of view v in
+  ensure_depth t d;
   t.reanchor_counts.(d) <- t.reanchor_counts.(d) + 1;
   t.reanchors_total <- t.reanchors_total + 1;
   (* Per-event hook only under [events]: a trap instance reanchors ~100
@@ -267,6 +297,7 @@ let ft_prepass t f root =
 let select t =
   let view = Env.view t.env in
   let root = Partial_tree.root view in
+  ensure_nodes t;
   let k = Env.k t.env in
   let moves = t.moves in
   Array.fill moves 0 k Env.Stay;

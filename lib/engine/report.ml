@@ -19,14 +19,42 @@ let write ~path j =
 
 (* Bump when the shape of the BENCH_*.json bodies changes incompatibly,
    so dashboards comparing perf trajectories across PRs can tell which
-   fields to expect. v1: pre-obs reports (no meta stamp). *)
-let schema_version = 2
+   fields to expect. v1: pre-obs reports (no meta stamp). v2: meta stamp
+   (schema_version, seed, workers). v3: peak_rss_bytes joined the stamp
+   (null where the platform cannot report it). *)
+let schema_version = 3
+
+(* Peak resident set of this process, best-effort: on Linux the VmHWM
+   line of /proc/self/status (the kernel's high-water mark, in kB);
+   None elsewhere. Read at stamp time, i.e. when the report is built —
+   the process-lifetime peak, which is the honest number for a bench
+   run. Sub-run attribution needs subprocess isolation (VmHWM is
+   monotone per process); bench/e_huge.ml does exactly that. *)
+let peak_rss_bytes () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec scan () =
+            match input_line ic with
+            | exception End_of_file -> None
+            | line -> (
+                match Scanf.sscanf line "VmHWM: %d kB" (fun kb -> kb) with
+                | kb -> Some (kb * 1024)
+                | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) ->
+                    scan ())
+          in
+          scan ())
 
 let meta ~seed ~workers =
   [
     ("schema_version", Int schema_version);
     ("seed", Int seed);
     ("workers", Int workers);
+    ( "peak_rss_bytes",
+      match peak_rss_bytes () with None -> Null | Some b -> Int b );
   ]
 
 let of_summary (s : Bfdn_util.Stats.summary) =

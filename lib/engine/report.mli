@@ -30,9 +30,15 @@ val write : path:string -> json -> unit
 val schema_version : int
 (** Current report schema: bumped on incompatible shape changes. *)
 
+val peak_rss_bytes : unit -> int option
+(** Peak resident set of this process, best-effort: VmHWM from
+    [/proc/self/status] on Linux (kernel high-water mark, monotone over
+    the process lifetime), [None] on platforms without it. *)
+
 val meta : seed:int -> workers:int -> (string * json) list
-(** The standard stamp: [schema_version], [seed], [workers]. Prepend to
-    every BENCH_*.json body. *)
+(** The standard stamp: [schema_version], [seed], [workers],
+    [peak_rss_bytes] ([null] where unavailable). Prepend to every
+    BENCH_*.json body. *)
 
 val of_summary : Bfdn_util.Stats.summary -> json
 (** Round-distribution summary as an object

@@ -139,9 +139,28 @@ let validate t =
                       the grid subcommand)"
                      world)
             | World_registry.Tree _ ->
-                check_params
-                  ~what:(Printf.sprintf "world %S" world)
-                  ~schema:e.params params))
+                let* () =
+                  check_params
+                    ~what:(Printf.sprintf "world %S" world)
+                    ~schema:e.params params
+                in
+                (match World_registry.scale_of_params params with
+                | "eager" -> Ok ()
+                | "lazy" ->
+                    if Bfdn_sim.Lazy_world.supported world then Ok ()
+                    else
+                      Error
+                        (Printf.sprintf
+                           "world %S has no lazy materialization (lazy \
+                            families: %s)"
+                           world
+                           (String.concat ", " Bfdn_sim.Lazy_world.families))
+                | other ->
+                    Error
+                      (Printf.sprintf
+                         "world %S: scale must be \"eager\" or \"lazy\" \
+                          (got %S)"
+                         world other))))
     | Adversarial { policy; params } -> (
         match World_registry.find_policy policy with
         | None -> Error (Printf.sprintf "unknown adversary policy %S" policy)
@@ -435,10 +454,26 @@ let run ?(probe = Probe.noop) ?on_round t =
   let fault_hook = Bfdn_faults.Injector.hook_opt fault in
   match t.instance with
   | World { world; params } ->
-      let tree =
-        World_registry.build_tree ~rng:(instance_stream root) ~params world
+      let env =
+        match World_registry.scale_of_params params with
+        | "lazy" ->
+            (* Huge tier: the hidden tree is generated at reveal, so the
+               run holds O(explored) state. The lazy seed is one draw off
+               the instance stream — the same stream the eager build
+               would consume — keeping the derivation spec-deterministic. *)
+            let seed =
+              Int64.to_int (Rng.bits64 (instance_stream root)) land max_int
+            in
+            let lw = World_registry.build_lazy ~seed ~params world in
+            Env.of_world (Bfdn_sim.Lazy_world.world lw) ~k:t.k ~probe
+              ~fault:fault_hook
+        | _ ->
+            let tree =
+              World_registry.build_tree ~rng:(instance_stream root) ~params
+                world
+            in
+            Env.create tree ~k:t.k ~probe ~fault:fault_hook
       in
-      let env = Env.create tree ~k:t.k ~probe ~fault:fault_hook in
       let algo = instantiate ~probe ~rng:(algo_stream root) ?fault t env in
       let result = Runner.run ?max_rounds:t.max_rounds ?on_round ~probe algo env in
       {
@@ -484,10 +519,22 @@ let materialize t =
       invalid_arg
         ("Scenario.materialize: adversarial worlds only exist after a run: "
        ^ describe t)
-  | World { world; params } ->
-      World_registry.build_tree
-        ~rng:(instance_stream (Rng.create t.seed))
-        ~params world
+  | World { world; params } -> (
+      match World_registry.scale_of_params params with
+      | "lazy" ->
+          (* The same seed derivation as [run], so the materialized tree
+             is the instance a (breadth-first) lazy run discovers. *)
+          let seed =
+            Int64.to_int
+              (Rng.bits64 (instance_stream (Rng.create t.seed)))
+            land max_int
+          in
+          Bfdn_sim.Lazy_world.materialize
+            (World_registry.build_lazy ~seed ~params world)
+      | _ ->
+          World_registry.build_tree
+            ~rng:(instance_stream (Rng.create t.seed))
+            ~params world)
 
 let run_on_tree ?(probe = Probe.noop) ?on_round t tree =
   checked t;

@@ -27,6 +27,14 @@ let tree_params =
       doc = "depth hint where the family has a depth parameter";
       default = Param.Int 20;
     };
+    {
+      Param.key = "scale";
+      doc =
+        "world materialization: \"eager\" builds the tree up front, \
+         \"lazy\" generates nodes at reveal so a run holds O(explored) \
+         memory (the huge tier; supported families only)";
+      default = Param.String "eager";
+    };
   ]
 
 (* Documentation strings for Tree_gen.of_family names. The entry list is
@@ -139,6 +147,23 @@ let build_tree ?rng ?(params = []) name =
           | Ok () ->
               let rng = match rng with Some r -> r | None -> Rng.create 0 in
               build { rng; params }))
+
+let scale_of_params params =
+  Param.get_string ~schema:tree_params params "scale"
+
+let build_lazy ?(seed = 0) ?(params = []) name =
+  match find name with
+  | None -> invalid_arg ("World_registry: unknown world " ^ name)
+  | Some e -> (
+      match Param.validate ~schema:e.params params with
+      | Error msg ->
+          invalid_arg (Printf.sprintf "World_registry: %s: %s" name msg)
+      | Ok () ->
+          let n = Param.get_int ~schema:tree_params params "n" in
+          let depth_hint =
+            Param.get_int ~schema:tree_params params "depth_hint"
+          in
+          Bfdn_sim.Lazy_world.make ~family:name ~n ~depth_hint ~seed)
 
 (* ---- adaptive adversary policies ---- *)
 

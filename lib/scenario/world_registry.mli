@@ -46,6 +46,21 @@ val build_tree :
     @raise Invalid_argument on an unknown or non-tree name, or
     parameters violating the schema. *)
 
+val scale_of_params : Param.binding list -> string
+(** The [scale] parameter of a tree-world binding list (["eager"] by
+    default, ["lazy"] for the huge tier's lazily materialized worlds).
+    Value checking is the caller's job ({!Scenario.validate} rejects
+    anything else). *)
+
+val build_lazy :
+  ?seed:int -> ?params:Param.binding list -> string ->
+  Bfdn_sim.Lazy_world.t
+(** Instantiate a named tree family as a lazily materialized world
+    ([scale=lazy]). [seed] feeds the ["random"] family's hash.
+    @raise Invalid_argument on an unknown name, parameters violating the
+    schema, or a family without lazy support
+    ({!Bfdn_sim.Lazy_world.supported}). *)
+
 (** {2 Adaptive adversary policies} *)
 
 val policies : policy_entry list

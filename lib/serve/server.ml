@@ -46,6 +46,10 @@ type t = {
      that ran the job. *)
   jobs_reg : Metrics.t;
   jobs_m : Mutex.t;
+  (* Runtime GC pauses, ticked once per finished request. *)
+  gc_reg : Metrics.t;
+  gc_m : Mutex.t;
+  gc_probe : Bfdn_obs.Gc_probe.t;
   stopping : bool Atomic.t;
   conn_m : Mutex.t;
   conn_done : Condition.t;
@@ -68,6 +72,7 @@ let create config =
   in
   let workers = max 1 config.workers in
   let worker_regs = Array.init workers (fun _ -> Metrics.create ()) in
+  let gc_reg = Metrics.create () in
   {
     config;
     listen_fd = fd;
@@ -80,6 +85,9 @@ let create config =
     http_m = Mutex.create ();
     jobs_reg = Metrics.create ();
     jobs_m = Mutex.create ();
+    gc_reg;
+    gc_m = Mutex.create ();
+    gc_probe = Bfdn_obs.Gc_probe.create gc_reg;
     stopping = Atomic.make false;
     conn_m = Mutex.create ();
     conn_done = Condition.create ();
@@ -99,6 +107,11 @@ let observe_latency t seconds =
   Mutex.lock t.http_m;
   Metrics.observe (Metrics.histogram t.http_reg "request_s") seconds;
   Mutex.unlock t.http_m
+
+let tick_gc t =
+  Mutex.lock t.gc_m;
+  Bfdn_obs.Gc_probe.tick t.gc_probe;
+  Mutex.unlock t.gc_m
 
 (* ---- response helpers ---- *)
 
@@ -292,6 +305,10 @@ let merged_metrics t =
   Mutex.lock t.jobs_m;
   Metrics.merge_into ~into:merged t.jobs_reg;
   Mutex.unlock t.jobs_m;
+  Mutex.lock t.gc_m;
+  Bfdn_obs.Gc_probe.snapshot t.gc_probe;
+  Metrics.merge_into ~into:merged t.gc_reg;
+  Mutex.unlock t.gc_m;
   Array.iter (fun reg -> Metrics.merge_into ~into:merged reg) t.worker_regs;
   merged
 
@@ -370,6 +387,7 @@ let handle_connection t routes fd =
       try respond_json fd ~status:500 (error_body (Printexc.to_string e))
       with _ -> ()));
   observe_latency t (float_of_int (Clock.now_ns () - t0) *. 1e-9);
+  tick_gc t;
   (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
   (try Unix.close fd with Unix.Unix_error _ -> ());
   Mutex.lock t.conn_m;
@@ -417,5 +435,6 @@ let run t =
   done;
   Mutex.unlock t.conn_m;
   Pool.shutdown t.pool;
+  Bfdn_obs.Gc_probe.dispose t.gc_probe;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   t.config.log "drained"

@@ -70,7 +70,7 @@ type t = {
   mutable moves_total : int;
   moves_per_robot : int array;
   mutable edge_events : int;
-  up_seen : bool array;
+  mutable up_seen : bool array; (* per-node, grows with the view *)
   mutable allowed_total : int;
   mutable multi_reveals : int;
   (* Per-round scratch, reused across every {!apply} call so the steady
@@ -78,8 +78,26 @@ type t = {
   eff : move array; (* selected moves after masking, length k *)
   tgt_dst : int array; (* resolved target node, -1 = no move, length k *)
   tgt_port : int array; (* dangling port being crossed, -1 = none, length k *)
-  arriving : int array; (* per-node arrival counts, length capacity *)
+  mutable arriving : int array; (* per-node arrival counts, grows *)
 }
+
+(* The per-node scratch arrays track the view's growable id space instead
+   of being sized to w_capacity up front: on a lazily materialized huge
+   world the environment then holds O(explored) state. Fresh ids enter
+   only through dangling-port resolution, so this is the one growth
+   point; growth preserves contents and the zero/false defaults, keeping
+   observable behaviour identical. *)
+let ensure_scratch t id =
+  if id >= Array.length t.arriving then begin
+    let old = Array.length t.arriving in
+    let cap = min t.world.w_capacity (max (id + 1) (2 * old)) in
+    let arriving = Array.make cap 0 in
+    Array.blit t.arriving 0 arriving 0 old;
+    t.arriving <- arriving;
+    let up_seen = Array.make cap false in
+    Array.blit t.up_seen 0 up_seen 0 old;
+    t.up_seen <- up_seen
+  end
 
 let of_world ?(mask = fun ~round:_ ~robot:_ -> true) ?(fixed = false)
     ?(probe = Bfdn_obs.Probe.noop) ?(fault = fault_noop) world ~k =
@@ -87,6 +105,7 @@ let of_world ?(mask = fun ~round:_ ~robot:_ -> true) ?(fixed = false)
   let view = Partial_tree.Internal.create ~hidden_n:world.w_capacity ~root:world.w_root in
   Partial_tree.Internal.reveal view world.w_root ~parent:None
     ~num_ports:(world.w_degree ~node:world.w_root ~arriving:k ~round:0);
+  let scratch_cap = Partial_tree.id_bound view in
   {
     world;
     fixed;
@@ -102,13 +121,13 @@ let of_world ?(mask = fun ~round:_ ~robot:_ -> true) ?(fixed = false)
     moves_total = 0;
     moves_per_robot = Array.make k 0;
     edge_events = 0;
-    up_seen = Array.make world.w_capacity false;
+    up_seen = Array.make scratch_cap false;
     allowed_total = 0;
     multi_reveals = 0;
     eff = Array.make k Stay;
     tgt_dst = Array.make k (-1);
     tgt_port = Array.make k (-1);
-    arriving = Array.make world.w_capacity 0;
+    arriving = Array.make scratch_cap 0;
   }
 
 let create ?mask ?probe ?fault tree ~k =
@@ -206,7 +225,9 @@ let apply t moves =
         let nports = Partial_tree.num_ports t.view pos in
         if p < 0 || p >= nports then invalid_arg "Env.apply: port out of range";
         if Partial_tree.is_port_dangling t.view pos p then begin
-          dsts.(i) <- t.world.w_child pos p;
+          let dst = t.world.w_child pos p in
+          ensure_scratch t dst;
+          dsts.(i) <- dst;
           ports.(i) <- p
         end
         else begin

@@ -2,10 +2,17 @@ type node = int
 
 type port_state = To_parent | Dangling | Child of node
 
-(* Per-port encoding inside [port_child]: -1 = leads to parent,
+(* Per-port encoding inside the port pool: -1 = leads to parent,
    -2 = dangling, otherwise the explored child id. *)
 let enc_parent = -1
 let enc_dangling = -2
+
+(* Above this hidden size the per-node arrays start small and grow
+   geometrically as ids are revealed, so a mostly unexplored huge world
+   costs O(explored) memory, not O(n). At or below it everything is
+   preallocated up front — one allocation, no growth checks on the hot
+   path — which keeps the small/medium tiers at their previous speed. *)
+let prealloc_threshold = 65536
 
 (* Open-node bucket: a swap-remove dynamic array. Iteration order is
    deterministic — a pure function of the add/remove call sequence (which
@@ -16,33 +23,75 @@ let enc_dangling = -2
    whose reductions are order-independent. *)
 type bucket = { mutable nodes : int array; mutable len : int }
 
+(* Storage is succinct and growable: all per-node attributes live in flat
+   int arrays of one shared capacity [cap], and the per-port states of all
+   nodes share a single flat pool ([port_pool]) indexed through
+   [port_base] — no per-node heap block, so 10^7 explored nodes cost a
+   handful of large arrays instead of 10^7 small ones. *)
 type t = {
   root : node;
-  explored : bool array;
-  nports : int array;
-  parents : int array;
-  parent_ports : int array;
+  hidden_n : int;
+  mutable cap : int; (* length of every per-node array below *)
+  mutable nports : int array; (* -1 = unexplored (replaces the bool array) *)
+  mutable parents : int array;
+  mutable parent_ports : int array;
       (* port on the parent leading down to the node; -1 for the root and
          for nodes whose parent edge was never resolved (fixtures only) *)
-  depths : int array;
-  port_child : int array array;
-  dangling_cnt : int array;
-  subtree_dangling : int array;
-  open_at : bucket option array; (* indexed by depth *)
-  in_bucket : int array; (* index of the node inside its depth bucket; -1 *)
+  mutable depths : int array;
+  mutable port_base : int array; (* start of the node's slice in port_pool *)
+  mutable dangling_cnt : int array;
+  mutable subtree_dangling : int array;
+  mutable in_bucket : int array; (* index inside its depth bucket; -1 *)
+  mutable port_pool : int array;
+  mutable pool_len : int;
+  mutable open_at : bucket option array; (* indexed by depth; growable *)
   mutable min_open_ptr : int;
   mutable total_dangling : int;
   mutable num_explored : int;
 }
 
 let root t = t.root
-let is_explored t v = t.explored.(v)
+let is_explored t v = v >= 0 && v < t.cap && t.nports.(v) >= 0
 let num_explored t = t.num_explored
 let num_dangling t = t.total_dangling
 let complete t = t.total_dangling = 0
+let id_bound t = t.cap
+
+let grow_int_array a len cap fill =
+  let bigger = Array.make cap fill in
+  Array.blit a 0 bigger 0 len;
+  bigger
+
+(* Make every per-node array cover ids up to [v] (inclusive), preserving
+   the unexplored defaults in the new tail. *)
+let ensure_node t v =
+  if v >= t.cap then begin
+    let cap = max (v + 1) (2 * t.cap) in
+    let old = t.cap in
+    t.nports <- grow_int_array t.nports old cap (-1);
+    t.parents <- grow_int_array t.parents old cap (-1);
+    t.parent_ports <- grow_int_array t.parent_ports old cap (-1);
+    t.depths <- grow_int_array t.depths old cap (-1);
+    t.port_base <- grow_int_array t.port_base old cap (-1);
+    t.dangling_cnt <- grow_int_array t.dangling_cnt old cap 0;
+    t.subtree_dangling <- grow_int_array t.subtree_dangling old cap 0;
+    t.in_bucket <- grow_int_array t.in_bucket old cap (-1);
+    t.cap <- cap
+  end
+
+(* Append a slice of [len] ports to the pool and return its base index. *)
+let pool_alloc t len =
+  let need = t.pool_len + len in
+  if need > Array.length t.port_pool then begin
+    let cap = max need (2 * Array.length t.port_pool) in
+    t.port_pool <- grow_int_array t.port_pool t.pool_len cap enc_dangling
+  end;
+  let base = t.pool_len in
+  t.pool_len <- need;
+  base
 
 let check_explored t v name =
-  if not t.explored.(v) then invalid_arg (name ^ ": unexplored node")
+  if not (is_explored t v) then invalid_arg (name ^ ": unexplored node")
 
 let num_ports t v =
   check_explored t v "Partial_tree.num_ports";
@@ -51,49 +100,51 @@ let num_ports t v =
 let port t v p =
   check_explored t v "Partial_tree.port";
   if p < 0 || p >= t.nports.(v) then invalid_arg "Partial_tree.port: bad port";
-  let e = t.port_child.(v).(p) in
+  let e = t.port_pool.(t.port_base.(v) + p) in
   if e = enc_parent then To_parent
   else if e = enc_dangling then Dangling
   else Child e
 
 let is_port_dangling t v p =
   check_explored t v "Partial_tree.is_port_dangling";
-  t.port_child.(v).(p) = enc_dangling
+  t.port_pool.(t.port_base.(v) + p) = enc_dangling
 
 let port_child_id t v p =
   check_explored t v "Partial_tree.port_child_id";
-  let e = t.port_child.(v).(p) in
+  let e = t.port_pool.(t.port_base.(v) + p) in
   if e >= 0 then e else -1
 
 let iter_dangling_ports t v f =
   check_explored t v "Partial_tree.iter_dangling_ports";
-  let ports = t.port_child.(v) in
-  for p = 0 to Array.length ports - 1 do
-    if ports.(p) = enc_dangling then f p
+  let base = t.port_base.(v) in
+  for p = 0 to t.nports.(v) - 1 do
+    if t.port_pool.(base + p) = enc_dangling then f p
   done
 
 let iter_explored_children t v f =
   check_explored t v "Partial_tree.iter_explored_children";
-  let ports = t.port_child.(v) in
-  for p = 0 to Array.length ports - 1 do
-    if ports.(p) >= 0 then f p ports.(p)
+  let base = t.port_base.(v) in
+  for p = 0 to t.nports.(v) - 1 do
+    let e = t.port_pool.(base + p) in
+    if e >= 0 then f p e
   done
 
 let dangling_ports t v =
   check_explored t v "Partial_tree.dangling_ports";
+  let base = t.port_base.(v) in
   let acc = ref [] in
-  let ports = t.port_child.(v) in
-  for p = Array.length ports - 1 downto 0 do
-    if ports.(p) = enc_dangling then acc := p :: !acc
+  for p = t.nports.(v) - 1 downto 0 do
+    if t.port_pool.(base + p) = enc_dangling then acc := p :: !acc
   done;
   !acc
 
 let explored_children t v =
   check_explored t v "Partial_tree.explored_children";
+  let base = t.port_base.(v) in
   let acc = ref [] in
-  let ports = t.port_child.(v) in
-  for p = Array.length ports - 1 downto 0 do
-    if ports.(p) >= 0 then acc := (p, ports.(p)) :: !acc
+  for p = t.nports.(v) - 1 downto 0 do
+    let e = t.port_pool.(base + p) in
+    if e >= 0 then acc := (p, e) :: !acc
   done;
   !acc
 
@@ -113,8 +164,8 @@ let depth_of t v =
   check_explored t v "Partial_tree.depth_of";
   t.depths.(v)
 
-let is_open t v = t.explored.(v) && t.dangling_cnt.(v) > 0
-let is_closed t v = t.explored.(v) && t.dangling_cnt.(v) = 0
+let is_open t v = is_explored t v && t.dangling_cnt.(v) > 0
+let is_closed t v = is_explored t v && t.dangling_cnt.(v) = 0
 let subtree_open t v =
   check_explored t v "Partial_tree.subtree_open";
   t.subtree_dangling.(v) > 0
@@ -171,7 +222,7 @@ let is_ancestor t a v =
 
 let ports_from_root t v =
   check_explored t v "Partial_tree.ports_from_root";
-  (* Walk up through the parent-port cache: O(depth), no port-array scans. *)
+  (* Walk up through the parent-port cache: O(depth), no port scans. *)
   let rec up v acc =
     if v = t.root then acc
     else begin
@@ -184,12 +235,18 @@ let ports_from_root t v =
 
 let fold_explored t ~init ~f =
   let acc = ref init in
-  for v = 0 to Array.length t.explored - 1 do
-    if t.explored.(v) then acc := f !acc v
+  for v = 0 to t.cap - 1 do
+    if t.nports.(v) >= 0 then acc := f !acc v
   done;
   !acc
 
 let bucket t d =
+  if d > max_depth_index t then begin
+    let cap = max (d + 1) (2 * Array.length t.open_at) in
+    let bigger = Array.make cap None in
+    Array.blit t.open_at 0 bigger 0 (Array.length t.open_at);
+    t.open_at <- bigger
+  end;
   match t.open_at.(d) with
   | Some b -> b
   | None ->
@@ -234,16 +291,28 @@ let bump_path t v delta =
 
 let check_invariants t =
   let fail msg = invalid_arg ("Partial_tree.check_invariants: " ^ msg) in
-  let n = Array.length t.explored in
+  let n = t.cap in
   let expected_total = ref 0 in
   let expected_sub = Array.make n 0 in
+  let count_dangling v =
+    let base = t.port_base.(v) in
+    let cnt = ref 0 in
+    for p = 0 to t.nports.(v) - 1 do
+      if t.port_pool.(base + p) = enc_dangling then incr cnt
+    done;
+    !cnt
+  in
+  let pool_has v x =
+    let base = t.port_base.(v) in
+    let found = ref false in
+    for p = 0 to t.nports.(v) - 1 do
+      if t.port_pool.(base + p) = x then found := true
+    done;
+    !found
+  in
   for v = 0 to n - 1 do
-    if t.explored.(v) then begin
-      let cnt =
-        Array.fold_left
-          (fun acc e -> if e = enc_dangling then acc + 1 else acc)
-          0 t.port_child.(v)
-      in
+    if t.nports.(v) >= 0 then begin
+      let cnt = count_dangling v in
       if cnt <> t.dangling_cnt.(v) then fail "dangling_cnt mismatch";
       expected_total := !expected_total + cnt;
       (* Charge the dangling edges of [v] to every ancestor. *)
@@ -256,12 +325,14 @@ let check_invariants t =
       (* Parent-port cache: when set, the parent's port must lead back. *)
       if v <> t.root then begin
         let pp = t.parent_ports.(v) in
-        let parent_ports_arr = t.port_child.(t.parents.(v)) in
+        let pr = t.parents.(v) in
         if pp >= 0 then begin
-          if pp >= Array.length parent_ports_arr || parent_ports_arr.(pp) <> v
+          if
+            pp >= t.nports.(pr)
+            || t.port_pool.(t.port_base.(pr) + pp) <> v
           then fail "parent_port cache points to the wrong port"
         end
-        else if Array.exists (fun e -> e = v) parent_ports_arr then
+        else if pool_has pr v then
           fail "parent_port cache missing for a resolved child"
       end
       else if t.parent_ports.(v) <> -1 then fail "root has a parent_port";
@@ -285,7 +356,7 @@ let check_invariants t =
       | Some b ->
           for i = 0 to b.len - 1 do
             let v = b.nodes.(i) in
-            if v < 0 || v >= n || not t.explored.(v) then
+            if v < 0 || v >= n || t.nports.(v) < 0 then
               fail "bucket holds an invalid node";
             if t.in_bucket.(v) <> i then fail "bucket slot/in_bucket disagree";
             if t.depths.(v) <> d then fail "bucket holds a node of another depth"
@@ -293,7 +364,7 @@ let check_invariants t =
     t.open_at;
   if !expected_total <> t.total_dangling then fail "total_dangling mismatch";
   for v = 0 to n - 1 do
-    if t.explored.(v) && expected_sub.(v) <> t.subtree_dangling.(v) then
+    if t.nports.(v) >= 0 && expected_sub.(v) <> t.subtree_dangling.(v) then
       fail "subtree_dangling mismatch"
   done;
   (match min_open_depth t with
@@ -309,42 +380,57 @@ module Internal = struct
   let create ~hidden_n ~root =
     if hidden_n < 1 then invalid_arg "Partial_tree.create: empty tree";
     if root < 0 || root >= hidden_n then invalid_arg "Partial_tree.create: bad root";
+    let cap =
+      if hidden_n <= prealloc_threshold then hidden_n
+      else max 1024 (root + 1)
+    in
+    let depth_cap = if hidden_n <= prealloc_threshold then hidden_n + 1 else 64 in
+    (* Pool: total ports over the whole tree is 2(n-1), so 2·cap slots is a
+       comfortable start even fully explored at the prealloc tier. *)
+    let pool_cap = max 16 (2 * cap) in
     {
       root;
-      explored = Array.make hidden_n false;
-      nports = Array.make hidden_n (-1);
-      parents = Array.make hidden_n (-1);
-      parent_ports = Array.make hidden_n (-1);
-      depths = Array.make hidden_n (-1);
-      port_child = Array.make hidden_n [||];
-      dangling_cnt = Array.make hidden_n 0;
-      subtree_dangling = Array.make hidden_n 0;
-      open_at = Array.make (hidden_n + 1) None;
-      in_bucket = Array.make hidden_n (-1);
+      hidden_n;
+      cap;
+      nports = Array.make cap (-1);
+      parents = Array.make cap (-1);
+      parent_ports = Array.make cap (-1);
+      depths = Array.make cap (-1);
+      port_base = Array.make cap (-1);
+      dangling_cnt = Array.make cap 0;
+      subtree_dangling = Array.make cap 0;
+      in_bucket = Array.make cap (-1);
+      port_pool = Array.make pool_cap enc_dangling;
+      pool_len = 0;
+      open_at = Array.make depth_cap None;
       min_open_ptr = 0;
       total_dangling = 0;
       num_explored = 0;
     }
 
   let reveal t v ~parent ~num_ports =
-    if t.explored.(v) then invalid_arg "Partial_tree.reveal: already explored";
+    if v < 0 || v >= t.hidden_n then invalid_arg "Partial_tree.reveal: bad node id";
+    ensure_node t v;
+    if t.nports.(v) >= 0 then invalid_arg "Partial_tree.reveal: already explored";
     (match parent with
     | None ->
         if v <> t.root then invalid_arg "Partial_tree.reveal: only the root has no parent";
         t.depths.(v) <- 0
     | Some p ->
-        if not t.explored.(p) then
+        if not (is_explored t p) then
           invalid_arg "Partial_tree.reveal: parent must be explored";
         t.parents.(v) <- p;
         t.depths.(v) <- t.depths.(p) + 1);
-    t.explored.(v) <- true;
-    t.nports.(v) <- num_ports;
-    let ports = Array.make num_ports enc_dangling in
+    let base = pool_alloc t num_ports in
+    for p = 0 to num_ports - 1 do
+      t.port_pool.(base + p) <- enc_dangling
+    done;
     if v <> t.root then begin
       if num_ports < 1 then invalid_arg "Partial_tree.reveal: non-root needs a parent port";
-      ports.(0) <- enc_parent
+      t.port_pool.(base) <- enc_parent
     end;
-    t.port_child.(v) <- ports;
+    t.port_base.(v) <- base;
+    t.nports.(v) <- num_ports;
     let cnt = num_ports - if v = t.root then 0 else 1 in
     t.dangling_cnt.(v) <- cnt;
     t.num_explored <- t.num_explored + 1;
@@ -358,9 +444,12 @@ module Internal = struct
     check_explored t v "Partial_tree.resolve_dangling";
     if p < 0 || p >= t.nports.(v) then
       invalid_arg "Partial_tree.resolve_dangling: bad port";
-    if t.port_child.(v).(p) <> enc_dangling then
+    if t.port_pool.(t.port_base.(v) + p) <> enc_dangling then
       invalid_arg "Partial_tree.resolve_dangling: port not dangling";
-    t.port_child.(v).(p) <- c;
+    if c < 0 || c >= t.hidden_n then
+      invalid_arg "Partial_tree.resolve_dangling: bad child id";
+    ensure_node t c;
+    t.port_pool.(t.port_base.(v) + p) <- c;
     t.parents.(c) <- v;
     t.parent_ports.(c) <- p;
     t.dangling_cnt.(v) <- t.dangling_cnt.(v) - 1;

@@ -11,7 +11,13 @@
     Port numbering matches {!Bfdn_trees.Tree}: at an explored non-root node,
     port [0] leads to the parent; other ports lead to children, each either
     already explored ([Child]) or dangling. Exploration is complete exactly
-    when no dangling port remains. *)
+    when no dangling port remains.
+
+    Storage is succinct and growable: per-node attributes live in flat int
+    arrays and all port states share one flat pool (no per-node heap
+    blocks). Above a prealloc threshold the arrays start small and grow
+    geometrically as ids are revealed, so exploring a prefix of a huge
+    lazily-materialized world costs O(explored) memory, not O(n). *)
 
 type t
 
@@ -132,6 +138,12 @@ val ports_from_root : t -> node -> int list
     reads the {!parent_port} cache, no port-array scans. *)
 
 val fold_explored : t -> init:'a -> f:('a -> node -> 'a) -> 'a
+
+val id_bound : t -> int
+(** Exclusive upper bound on every node id revealed or resolved so far
+    (the current capacity of the growable per-node arrays — O(explored)
+    by geometric growth). Algorithms size their own per-node scratch
+    arrays from it and re-check it each round; it only ever grows. *)
 
 val check_invariants : t -> unit
 (** Exhaustive O(n·D) re-verification of the incremental bookkeeping

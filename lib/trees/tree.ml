@@ -1,9 +1,21 @@
 type node = int
 
+(* Succinct flat-array storage (CSR-style adjacency). The tree is four
+   plain [int array]s — no per-node records or nested child arrays — so
+   a node costs ~4 words and the whole structure is 4 large heap blocks
+   whatever [n] is, which is what makes the 10^6–10^7 scale tier viable
+   (the previous [node array array] representation paid one block header
+   per node and roughly doubled the footprint; see DESIGN.md §5.14).
+
+   Ports stay implicit: at a non-root node port 0 is the parent edge and
+   port [p >= 1] is child [p - 1] of the CSR slice; at the root port [p]
+   is child [p]. Children are stored in increasing id order (the same
+   deterministic port numbering [of_parents] always produced). *)
 type t = {
   root : node;
-  parents : node array;
-  children : node array array;
+  parents : node array; (* -1 at the root *)
+  child_off : int array; (* length n+1: children of v at [off.(v), off.(v+1)) *)
+  child_arr : node array; (* length n-1, increasing ids per slice *)
   depths : int array;
   mutable subtree_sizes : int array option; (* computed lazily *)
 }
@@ -13,10 +25,19 @@ let num_edges t = n t - 1
 let root t = t.root
 let depth_of t v = t.depths.(v)
 let parent t v = if v = t.root then None else Some t.parents.(v)
-let children t v = t.children.(v)
 
-let degree t v =
-  Array.length t.children.(v) + if v = t.root then 0 else 1
+let num_children t v = t.child_off.(v + 1) - t.child_off.(v)
+let child t v i = t.child_arr.(t.child_off.(v) + i)
+
+let children t v =
+  Array.sub t.child_arr t.child_off.(v) (num_children t v)
+
+let iter_children t v f =
+  for i = t.child_off.(v) to t.child_off.(v + 1) - 1 do
+    f t.child_arr.(i)
+  done
+
+let degree t v = num_children t v + if v = t.root then 0 else 1
 
 let num_ports = degree
 
@@ -32,19 +53,19 @@ let max_degree t =
 let neighbor_via_port t v p =
   let deg = degree t v in
   if p < 0 || p >= deg then invalid_arg "Tree.neighbor_via_port: bad port";
-  if v = t.root then t.children.(v).(p)
+  if v = t.root then child t v p
   else if p = 0 then t.parents.(v)
-  else t.children.(v).(p - 1)
+  else child t v (p - 1)
 
 let port_to_parent t v =
   if v = t.root then invalid_arg "Tree.port_to_parent: root has no parent";
   0
 
 let port_of_child t v c =
-  let cs = t.children.(v) in
+  let cs = num_children t v in
   let rec find i =
-    if i >= Array.length cs then raise Not_found
-    else if cs.(i) = c then i + if v = t.root then 0 else 1
+    if i >= cs then raise Not_found
+    else if child t v i = c then i + if v = t.root then 0 else 1
     else find (i + 1)
   in
   find 0
@@ -91,20 +112,25 @@ let compute_subtree_sizes t =
 let subtree_size t v = (compute_subtree_sizes t).(v)
 
 let subtree_nodes t v =
-  let rec go v acc = Array.fold_left (fun acc c -> go c acc) (v :: acc) (children t v) in
+  let rec go v acc =
+    let acc = ref (v :: acc) in
+    iter_children t v (fun c -> acc := go c !acc);
+    !acc
+  in
   List.rev (go v [])
 
 let euler_tour t =
   let rec visit v acc =
-    let acc = v :: acc in
-    Array.fold_left (fun acc c -> v :: visit c acc) acc (children t v)
+    let acc = ref (v :: acc) in
+    iter_children t v (fun c -> acc := v :: visit c !acc);
+    !acc
   in
   (* [visit] pushes nodes in reverse visiting order. *)
   List.rev (visit t.root [])
 
 let equal a b =
-  a.root = b.root && a.parents = b.parents
-  && Array.for_all2 (fun x y -> x = y) a.children b.children
+  a.root = b.root && a.parents = b.parents && a.child_off = b.child_off
+  && a.child_arr = b.child_arr
 
 let validate t =
   let size = n t in
@@ -138,21 +164,24 @@ let validate t =
   for v = 0 to size - 1 do
     mark v size
   done;
-  (* Children arrays must exactly mirror parents. *)
+  (* CSR adjacency must exactly mirror parents. *)
+  if Array.length t.child_off <> size + 1 then
+    invalid_arg "Tree.validate: bad offset length";
+  if t.child_off.(0) <> 0 || t.child_off.(size) <> Array.length t.child_arr
+  then invalid_arg "Tree.validate: bad offset bounds";
+  if Array.length t.child_arr <> size - 1 then
+    invalid_arg "Tree.validate: children/edges mismatch";
   let child_count = Array.make size 0 in
   Array.iteri
     (fun v p -> if v <> t.root then child_count.(p) <- child_count.(p) + 1)
     t.parents;
-  Array.iteri
-    (fun v cs ->
-      if Array.length cs <> child_count.(v) then
-        invalid_arg "Tree.validate: children/parents mismatch";
-      Array.iter
-        (fun c ->
-          if t.parents.(c) <> v then
-            invalid_arg "Tree.validate: child with wrong parent")
-        cs)
-    t.children
+  for v = 0 to size - 1 do
+    if t.child_off.(v + 1) - t.child_off.(v) <> child_count.(v) then
+      invalid_arg "Tree.validate: children/parents mismatch";
+    iter_children t v (fun c ->
+        if c < 0 || c >= size || t.parents.(c) <> v then
+          invalid_arg "Tree.validate: child with wrong parent")
+  done
 
 let of_parents ?(root = 0) parents =
   let size = Array.length parents in
@@ -160,22 +189,25 @@ let of_parents ?(root = 0) parents =
   if root < 0 || root >= size then invalid_arg "Tree.of_parents: bad root";
   if parents.(root) <> -1 then
     invalid_arg "Tree.of_parents: parents.(root) must be -1";
-  let counts = Array.make size 0 in
+  let child_off = Array.make (size + 1) 0 in
   Array.iteri
     (fun v p ->
       if v <> root then begin
         if p < 0 || p >= size then
           invalid_arg "Tree.of_parents: parent out of range";
-        counts.(p) <- counts.(p) + 1
+        child_off.(p + 1) <- child_off.(p + 1) + 1
       end)
     parents;
-  let children = Array.map (fun c -> Array.make c (-1)) counts in
-  let fill = Array.make size 0 in
+  for v = 1 to size do
+    child_off.(v) <- child_off.(v) + child_off.(v - 1)
+  done;
+  let child_arr = Array.make (max 0 (size - 1)) (-1) in
+  let fill = Array.copy child_off in
   (* Children in increasing id order: deterministic port numbering. *)
   for v = 0 to size - 1 do
     if v <> root then begin
       let p = parents.(v) in
-      children.(p).(fill.(p)) <- v;
+      child_arr.(fill.(p)) <- v;
       fill.(p) <- fill.(p) + 1
     end
   done;
@@ -193,7 +225,16 @@ let of_parents ?(root = 0) parents =
   for v = 0 to size - 1 do
     ignore (depth_of v size)
   done;
-  let t = { root; parents = Array.copy parents; children; depths; subtree_sizes = None } in
+  let t =
+    {
+      root;
+      parents = Array.copy parents;
+      child_off;
+      child_arr;
+      depths;
+      subtree_sizes = None;
+    }
+  in
   validate t;
   t
 
@@ -241,15 +282,13 @@ let of_string s =
 
 let pp ppf t =
   let rec go ppf v =
-    let cs = children t v in
-    if Array.length cs = 0 then Format.fprintf ppf "%d" v
+    if num_children t v = 0 then Format.fprintf ppf "%d" v
     else begin
       Format.fprintf ppf "%d(" v;
-      Array.iteri
-        (fun i c ->
-          if i > 0 then Format.fprintf ppf " ";
-          go ppf c)
-        cs;
+      for i = 0 to num_children t v - 1 do
+        if i > 0 then Format.fprintf ppf " ";
+        go ppf (child t v i)
+      done;
       Format.fprintf ppf ")"
     end
   in

@@ -7,7 +7,14 @@
     [0 .. deg-1] lead to the children.
 
     This module describes the {e hidden} tree [T_offline]; online algorithms
-    never see it directly — they observe it through {!Bfdn_sim.Env}. *)
+    never see it directly — they observe it through {!Bfdn_sim.Env}.
+
+    Storage is succinct: four flat [int array]s (parents, CSR child
+    offsets, CSR child ids, depths) — ~4 words per node in 4 heap blocks
+    total, with ports derived implicitly from the CSR slice. This is the
+    representation the 10^6–10^7 "huge" scale tier runs on; the
+    record/nested-array layout it replaced survives only as the test
+    reference model (test/test_succinct.ml). *)
 
 type t
 
@@ -41,7 +48,19 @@ val parent : t -> node -> node option
 (** [None] exactly for the root. *)
 
 val children : t -> node -> node array
-(** Children in port order. The returned array must not be mutated. *)
+(** Children in port order. Allocates a fresh array (a copy of the CSR
+    slice); use {!num_children}/{!child}/{!iter_children} on hot paths. *)
+
+val num_children : t -> node -> int
+(** Number of children. O(1), allocation-free. *)
+
+val child : t -> node -> int -> node
+(** [child t v i] is the [i]-th child of [v] ([0 <= i < num_children]),
+    in port order. O(1), allocation-free (bad indices fail with the
+    array bounds check). *)
+
+val iter_children : t -> node -> (node -> unit) -> unit
+(** Apply a function to each child in port order without allocating. *)
 
 val degree : t -> node -> int
 (** Number of incident edges of the node. *)

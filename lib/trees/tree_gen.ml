@@ -1,6 +1,20 @@
 module Rng = Bfdn_util.Rng
 module Mathx = Bfdn_util.Mathx
 
+(* Hard ceiling on instance sizes. Every family constructor computes a
+   saturating node-count estimate up front and rejects anything beyond
+   this, so a huge-tier parameter mistake (n=10^7 with a multiplicative
+   family) fails with a clear error instead of wrapping an int or dying
+   inside [Array.make]. *)
+let max_nodes = Sys.max_array_length
+
+let check_size ctx est =
+  if est > max_nodes then
+    invalid_arg
+      (Printf.sprintf "Tree_gen.%s: %s nodes requested, limit is %d" ctx
+         (if est = max_int then "too many" else string_of_int est)
+         max_nodes)
+
 module Builder = struct
   type t = { mutable parents : int array; mutable size : int }
 
@@ -10,7 +24,10 @@ module Builder = struct
 
   let ensure_capacity b =
     if b.size >= Array.length b.parents then begin
-      let bigger = Array.make (2 * Array.length b.parents) (-1) in
+      let cap = Array.length b.parents in
+      if cap >= max_nodes then
+        invalid_arg "Tree_gen.Builder: tree exceeds Sys.max_array_length";
+      let bigger = Array.make (min max_nodes (Mathx.mul_cap 2 cap)) (-1) in
       Array.blit b.parents 0 bigger 0 b.size;
       b.parents <- bigger
     end
@@ -34,12 +51,14 @@ end
 
 let path n =
   if n < 1 then invalid_arg "Tree_gen.path: n must be >= 1";
+  check_size "path" n;
   let b = Builder.create () in
   ignore (Builder.add_path b (Builder.root b) (n - 1));
   Builder.build b
 
 let star n =
   if n < 1 then invalid_arg "Tree_gen.star: n must be >= 1";
+  check_size "star" n;
   let b = Builder.create () in
   for _ = 1 to n - 1 do
     ignore (Builder.add_child b (Builder.root b))
@@ -49,6 +68,15 @@ let star n =
 let complete ~arity ~depth =
   if arity < 1 then invalid_arg "Tree_gen.complete: arity must be >= 1";
   if depth < 0 then invalid_arg "Tree_gen.complete: negative depth";
+  (* n = (arity^(depth+1) - 1) / (arity - 1); saturating estimate so deep
+     multiplicative requests reject instead of wrapping. *)
+  let est =
+    if arity = 1 then depth + 1
+    else
+      let top = Mathx.pow_cap arity (depth + 1) in
+      if top = max_int then max_int else (top - 1) / (arity - 1)
+  in
+  check_size "complete" est;
   let b = Builder.create () in
   let rec expand v d =
     if d < depth then
@@ -61,6 +89,7 @@ let complete ~arity ~depth =
 
 let spider ~legs ~leg_len =
   if legs < 0 || leg_len < 0 then invalid_arg "Tree_gen.spider: negative size";
+  check_size "spider" (Mathx.add_cap 1 (Mathx.mul_cap legs leg_len));
   let b = Builder.create () in
   for _ = 1 to legs do
     ignore (Builder.add_path b (Builder.root b) leg_len)
@@ -70,6 +99,8 @@ let spider ~legs ~leg_len =
 let caterpillar ~spine ~legs_per_node =
   if spine < 0 || legs_per_node < 0 then
     invalid_arg "Tree_gen.caterpillar: negative size";
+  check_size "caterpillar"
+    (Mathx.mul_cap (spine + 1) (Mathx.add_cap legs_per_node 1));
   let b = Builder.create () in
   let v = ref (Builder.root b) in
   for i = 0 to spine do
@@ -82,6 +113,7 @@ let caterpillar ~spine ~legs_per_node =
 
 let comb ~spine ~tooth_len =
   if spine < 0 || tooth_len < 0 then invalid_arg "Tree_gen.comb: negative size";
+  check_size "comb" (Mathx.add_cap 1 (Mathx.mul_cap spine (Mathx.add_cap tooth_len 1)));
   let b = Builder.create () in
   let v = ref (Builder.root b) in
   for _ = 1 to spine do
@@ -92,6 +124,7 @@ let comb ~spine ~tooth_len =
 
 let broom ~handle ~bristles =
   if handle < 0 || bristles < 0 then invalid_arg "Tree_gen.broom: negative size";
+  check_size "broom" (Mathx.add_cap 1 (Mathx.add_cap handle bristles));
   let b = Builder.create () in
   let tip = Builder.add_path b (Builder.root b) handle in
   for _ = 1 to bristles do
@@ -101,6 +134,7 @@ let broom ~handle ~bristles =
 
 let random_tree ~rng ~n ?max_depth () =
   if n < 1 then invalid_arg "Tree_gen.random_tree: n must be >= 1";
+  check_size "random_tree" n;
   let cap = match max_depth with Some d -> d | None -> max_int in
   if cap < 0 then invalid_arg "Tree_gen.random_tree: negative max_depth";
   let parents = Array.make n (-1) in
@@ -125,6 +159,7 @@ let random_tree ~rng ~n ?max_depth () =
 let random_bounded_degree ~rng ~n ~delta =
   if n < 1 then invalid_arg "Tree_gen.random_bounded_degree: n must be >= 1";
   if delta < 2 then invalid_arg "Tree_gen.random_bounded_degree: delta < 2";
+  check_size "random_bounded_degree" n;
   let parents = Array.make n (-1) in
   let degree = Array.make n 0 in
   let eligible = Array.make n 0 in
@@ -151,6 +186,7 @@ let random_bounded_degree ~rng ~n ~delta =
 let random_deep ~rng ~n ~depth =
   if depth < 0 then invalid_arg "Tree_gen.random_deep: negative depth";
   if n < depth + 1 then invalid_arg "Tree_gen.random_deep: n < depth + 1";
+  check_size "random_deep" n;
   let parents = Array.make n (-1) in
   let depths = Array.make n 0 in
   (* Spine of the required depth occupies nodes 0..depth. *)
@@ -183,6 +219,9 @@ let random_deep ~rng ~n ~depth =
 
 let binary_trap ~levels ~tail =
   if levels < 0 || tail < 0 then invalid_arg "Tree_gen.binary_trap: negative size";
+  check_size "binary_trap"
+    (Mathx.add_cap (Mathx.add_cap 1 tail)
+       (Mathx.mul_cap levels (Mathx.add_cap tail 1)));
   let b = Builder.create () in
   let v = ref (Builder.root b) in
   for _ = 1 to levels do
@@ -196,6 +235,13 @@ let hidden_path ~k ~blocks =
   if k < 1 then invalid_arg "Tree_gen.hidden_path: k must be >= 1";
   if blocks < 1 then invalid_arg "Tree_gen.hidden_path: blocks must be >= 1";
   let depth = max 1 (Mathx.ceil_log2 (max 2 k)) in
+  (* Each block is a complete binary tree of 2^(depth+1)-1 nodes plus one
+     chaining node. *)
+  let block_sz =
+    let top = Mathx.pow_cap 2 (depth + 1) in
+    if top = max_int then max_int else top
+  in
+  check_size "hidden_path" (Mathx.add_cap 1 (Mathx.mul_cap blocks block_sz));
   let b = Builder.create () in
   (* Build one complete binary block below [v]; return one designated leaf
      (the last one) to chain the next block from. *)
@@ -232,7 +278,11 @@ let of_family name ~rng ~n ~depth_hint =
   | "binary" -> complete ~arity:2 ~depth:(max 1 (Mathx.log2i (max 2 n)))
   | "ternary" ->
       let depth =
-        let rec fit depth = if Mathx.pow 3 (depth + 1) >= n then depth else fit (depth + 1) in
+        (* pow_cap: the fit test stays correct (and terminates) for any n;
+           plain [pow] wraps negative past 3^40 and loops forever. *)
+        let rec fit depth =
+          if Mathx.pow_cap 3 (depth + 1) >= n then depth else fit (depth + 1)
+        in
         max 1 (fit 1)
       in
       complete ~arity:3 ~depth

@@ -1,7 +1,12 @@
 (** Instance families for experiments and tests.
 
     All generators are deterministic given their arguments (randomized ones
-    take an explicit {!Bfdn_util.Rng.t}). Sizes below are node counts. *)
+    take an explicit {!Bfdn_util.Rng.t}). Sizes below are node counts.
+
+    Every constructor computes a saturating node-count estimate up front
+    and raises [Invalid_argument] when it exceeds [Sys.max_array_length],
+    so huge-tier parameter mistakes (e.g. a multiplicative family at
+    n=10^7-scale depth) fail cleanly instead of wrapping an [int]. *)
 
 (** Imperative tree builder used by all generators (and available for tests
     and custom workloads). *)

@@ -26,6 +26,28 @@ let pow b e =
   in
   go 1 b e
 
+let mul_cap a b =
+  if a < 0 || b < 0 then invalid_arg "Mathx.mul_cap: negative factor";
+  if a = 0 || b = 0 then 0
+  else if a > max_int / b then max_int
+  else a * b
+
+let add_cap a b =
+  if a < 0 || b < 0 then invalid_arg "Mathx.add_cap: negative addend";
+  if a > max_int - b then max_int else a + b
+
+let pow_cap b e =
+  if b < 0 then invalid_arg "Mathx.pow_cap: negative base";
+  if e < 0 then invalid_arg "Mathx.pow_cap: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul_cap acc b else acc in
+      if e <= 1 then acc else go acc (mul_cap b b) (e lsr 1)
+    end
+  in
+  go 1 b e
+
 let iroot x l =
   if x < 1 then invalid_arg "Mathx.iroot: argument < 1";
   if l < 1 then invalid_arg "Mathx.iroot: order < 1";

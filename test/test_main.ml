@@ -6,6 +6,7 @@ let () =
       Test_util.suite;
       Test_obs.suite;
       Test_trees.suite;
+      Test_succinct.suite;
       Test_sim.suite;
       Test_partial_diff.suite;
       Test_bfdn.suite;

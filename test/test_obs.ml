@@ -326,6 +326,53 @@ let test_dashboard_renders () =
   checkb "has counter" true (contains "rounds");
   checkb "has histogram" true (contains "lat")
 
+(* ---- GC probe ---- *)
+
+let test_gc_probe_records () =
+  let reg = Metrics.create () in
+  let gp = Bfdn_obs.Gc_probe.create reg in
+  (* Force at least one major cycle between ticks, then tick: the
+     interval must land in the pause histogram and the cycle counter. *)
+  Bfdn_obs.Gc_probe.tick gp;
+  Gc.full_major ();
+  Bfdn_obs.Gc_probe.tick gp;
+  let cycles = Bfdn_obs.Gc_probe.major_cycles gp in
+  checkb "alarm saw the forced major cycle" true (cycles >= 1);
+  (match Metrics.find_histogram reg "gc_pause_ns" with
+  | None -> Alcotest.fail "gc_pause_ns not registered"
+  | Some h ->
+      checkb "pause recorded" true (Metrics.hist_count h >= 1);
+      checkb "pause positive" true (Metrics.hist_sum h > 0.));
+  (match Metrics.find_counter reg "gc_major_cycles" with
+  | None -> Alcotest.fail "gc_major_cycles not registered"
+  | Some c -> checkb "counter folded" true (Metrics.value c >= 1));
+  Bfdn_obs.Gc_probe.snapshot gp;
+  checkb "snapshot exports quick_stat gauges" true
+    (Metrics.gauge_value (Metrics.gauge reg "gc_major_collections") >= 1.);
+  Bfdn_obs.Gc_probe.dispose gp;
+  Bfdn_obs.Gc_probe.dispose gp (* idempotent *)
+
+let test_gc_probe_quiet_tick () =
+  let reg = Metrics.create () in
+  let gp = Bfdn_obs.Gc_probe.create reg in
+  (* Drain any cycle pending from test setup, then two adjacent ticks:
+     an interval without a major-cycle end must not record a pause. *)
+  Bfdn_obs.Gc_probe.tick gp;
+  Bfdn_obs.Gc_probe.tick gp;
+  let before =
+    match Metrics.find_histogram reg "gc_pause_ns" with
+    | Some h -> Metrics.hist_count h
+    | None -> 0
+  in
+  Bfdn_obs.Gc_probe.tick gp;
+  let after =
+    match Metrics.find_histogram reg "gc_pause_ns" with
+    | Some h -> Metrics.hist_count h
+    | None -> 0
+  in
+  checkb "no pause without a cycle" true (after <= before + 1);
+  Bfdn_obs.Gc_probe.dispose gp
+
 let suite =
   let tc name f = Alcotest.test_case name `Quick f in
   ( "obs",
@@ -347,4 +394,6 @@ let suite =
       tc "probe does not perturb" test_probe_does_not_perturb;
       tc "pool probe aggregate invariant" test_pool_probe_aggregate_invariant;
       tc "dashboard renders" test_dashboard_renders;
+      tc "gc probe records pauses" test_gc_probe_records;
+      tc "gc probe quiet tick" test_gc_probe_quiet_tick;
     ] )

@@ -183,23 +183,35 @@ let test_json_rejects () =
    the optional fields. *)
 let spec_gen =
   let open QCheck2.Gen in
-  let value_for (s : Param.spec) =
-    match s.default with
-    | Param.Int _ -> map (fun i -> Param.Int i) (int_range (-1000) 1000)
-    | Param.Float _ ->
-        map (fun f -> Param.Float f) (float_range (-1e6) 1e6)
-    | Param.Bool _ -> map (fun b -> Param.Bool b) bool
-    | Param.String _ ->
-        map (fun s -> Param.String s) (string_size ~gen:printable (0 -- 8))
+  let value_for ?world (s : Param.spec) =
+    (* "scale" is value-checked by validate (and "lazy" only on the
+       families with lazy support), so draw from the legal set. *)
+    if s.key = "scale" then
+      let choices =
+        "eager"
+        ::
+        (match world with
+        | Some w when Bfdn_sim.Lazy_world.supported w -> [ "lazy" ]
+        | _ -> [])
+      in
+      map (fun s -> Param.String s) (oneofl choices)
+    else
+      match s.default with
+      | Param.Int _ -> map (fun i -> Param.Int i) (int_range (-1000) 1000)
+      | Param.Float _ ->
+          map (fun f -> Param.Float f) (float_range (-1e6) 1e6)
+      | Param.Bool _ -> map (fun b -> Param.Bool b) bool
+      | Param.String _ ->
+          map (fun s -> Param.String s) (string_size ~gen:printable (0 -- 8))
   in
-  let bindings_for schema =
+  let bindings_for ?world schema =
     (* each key independently present or defaulted *)
     let rec go = function
       | [] -> return []
       | (s : Param.spec) :: rest ->
           bool >>= fun keep ->
           go rest >>= fun tl ->
-          if keep then value_for s >>= fun v -> return ((s.key, v) :: tl)
+          if keep then value_for ?world s >>= fun v -> return ((s.key, v) :: tl)
           else return tl
     in
     go schema
@@ -212,7 +224,7 @@ let spec_gen =
    else
      oneofl World_registry.tree_names >>= fun world ->
      let entry = Option.get (World_registry.find world) in
-     bindings_for entry.params >>= fun params ->
+     bindings_for ~world entry.params >>= fun params ->
      return (Scenario.World { world; params }))
   >>= fun instance ->
   oneofl
@@ -347,6 +359,49 @@ let test_run_on_tree_matches_run () =
     (Scenario.equal_outcome (Scenario.run spec)
        (Scenario.run_on_tree spec (Scenario.materialize spec)))
 
+let test_lazy_scale_runs () =
+  (* scale=lazy dispatches the world through Lazy_world: every supported
+     family must validate, fully explore, and survive materialize (the
+     --tree-file path for lazy specs). *)
+  List.iter
+    (fun world ->
+      let spec =
+        Scenario.make ~k:4 ~seed:7
+          (Scenario.world
+             ~params:
+               [
+                 ("depth_hint", Param.Int 6); ("n", Param.Int 80);
+                 ("scale", Param.String "lazy");
+               ]
+             world)
+      in
+      (match Scenario.validate spec with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s scale=lazy rejected: %s" world e);
+      let o = Scenario.run spec in
+      checkb (world ^ " lazy explored") true o.Scenario.result.explored;
+      let t = Scenario.materialize spec in
+      checkb (world ^ " lazy materializes") true (Bfdn_trees.Tree.n t > 1))
+    (List.filter Bfdn_sim.Lazy_world.supported World_registry.tree_names)
+
+let test_lazy_scale_rejects_unsupported () =
+  let spec =
+    Scenario.make ~k:4 ~seed:7
+      (Scenario.world
+         ~params:[ ("scale", Param.String "lazy") ]
+         "hidden-path")
+  in
+  (match Scenario.validate spec with
+  | Ok () -> Alcotest.fail "hidden-path scale=lazy must be rejected"
+  | Error _ -> ());
+  let bad =
+    Scenario.make ~k:4 ~seed:7
+      (Scenario.world ~params:[ ("scale", Param.String "huge") ] "binary")
+  in
+  match Scenario.validate bad with
+  | Ok () -> Alcotest.fail "unknown scale value must be rejected"
+  | Error _ -> ()
+
 let test_probe_does_not_change_outcome () =
   let spec =
     Scenario.make ~algo:"bfdn" ~k:8 ~seed:4
@@ -374,5 +429,7 @@ let suite =
       tc "job.run = scenario.run" test_job_run_is_scenario_run;
       tc "save/load/re-execute" test_save_load_reexecute;
       tc "run_on_tree matches run" test_run_on_tree_matches_run;
+      tc "lazy scale runs" test_lazy_scale_runs;
+      tc "lazy scale rejects unsupported" test_lazy_scale_rejects_unsupported;
       tc "probe does not change outcome" test_probe_does_not_change_outcome;
     ] )

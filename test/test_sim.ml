@@ -385,6 +385,48 @@ let test_trace_json_frame () =
     {|{"round":1,"explored":3,"dangling":3,"positions":[1,2]}|}
     (Bfdn_obs.Json.to_string (Trace.json_of_frame (Trace.frame_of_env env)))
 
+(* ---- growable flat storage (huge tier) ---- *)
+
+(* Above the preallocation threshold the partial tree starts small and
+   grows geometrically with the revealed prefix. A deep revealed path
+   exercises per-node growth, pool growth and the by-depth bucket
+   growth together; invariants must hold throughout. *)
+let test_partial_tree_grows_above_threshold () =
+  let hidden_n = 200_000 and m = 70_000 in
+  let pt = Partial_tree.Internal.create ~hidden_n ~root:0 in
+  checkb "starts below hidden_n" true (Partial_tree.id_bound pt < hidden_n);
+  Partial_tree.Internal.reveal pt 0 ~parent:None ~num_ports:1;
+  for v = 1 to m do
+    Partial_tree.Internal.resolve_dangling pt (v - 1)
+      (if v - 1 = 0 then 0 else 1)
+      v;
+    Partial_tree.Internal.reveal pt v ~parent:(Some (v - 1))
+      ~num_ports:(if v = m then 1 else 2)
+  done;
+  checki "explored count" (m + 1) (Partial_tree.num_explored pt);
+  checki "depth of tip" m (Partial_tree.depth_of pt m);
+  checkb "id_bound covers revealed ids" true (Partial_tree.id_bound pt > m);
+  checkb "tip explored" true (Partial_tree.is_explored pt m);
+  checkb "beyond bound unexplored" true
+    (not (Partial_tree.is_explored pt (Partial_tree.id_bound pt)));
+  checkb "complete" true (Partial_tree.complete pt);
+  Partial_tree.check_invariants pt
+
+let test_env_scratch_grows_with_view () =
+  (* A lazy world above the threshold: env + algo scratch follow
+     id_bound, and the run must still fully explore. *)
+  let lw =
+    Bfdn_sim.Lazy_world.make ~family:"binary" ~n:70_000 ~depth_hint:20
+      ~seed:0
+  in
+  let env = Env.of_world (Bfdn_sim.Lazy_world.world lw) ~k:64 in
+  let r = Runner.run (Bfdn.Bfdn_algo.algo (Bfdn.Bfdn_algo.make env)) env in
+  checkb "explored" true r.Runner.explored;
+  checkb "home" true r.Runner.at_root;
+  checki "revealed all" (Bfdn_sim.Lazy_world.capacity lw)
+    (Partial_tree.num_explored (Env.view env));
+  Partial_tree.check_invariants (Env.view env)
+
 let suite =
   let tc name f = Alcotest.test_case name `Quick f in
   let qc t = QCheck_alcotest.to_alcotest t in
@@ -425,4 +467,7 @@ let suite =
       tc "trace timeline golden multi-depth" test_trace_timeline_golden_multi_depth;
       tc "trace ring bounded" test_trace_ring_bounded;
       tc "trace json frame" test_trace_json_frame;
+      tc "partial tree grows above threshold"
+        test_partial_tree_grows_above_threshold;
+      tc "env scratch grows with view" test_env_scratch_grows_with_view;
     ] )

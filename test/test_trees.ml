@@ -262,6 +262,31 @@ let prop_generators_validate =
           true)
         Tree_gen.families)
 
+(* Size guards: absurd requests must fail fast with Invalid_argument
+   from the saturating size estimate — not overflow int arithmetic into
+   a bogus small allocation, and not attempt a max_int allocation. *)
+let test_generators_reject_absurd_sizes () =
+  List.iter
+    (fun fam ->
+      checkb (fam ^ " rejects n=max_int") true
+        (try
+           ignore
+             (Tree_gen.of_family fam ~rng:(Rng.create 1) ~n:max_int
+                ~depth_hint:10);
+           false
+         with Invalid_argument _ -> true))
+    Tree_gen.families;
+  (* Multiplicative estimates must saturate rather than wrap: a spider
+     whose legs * leg_len product overflows would otherwise slip past a
+     plain comparison. *)
+  checkb "huge but sub-max_int n rejected" true
+    (try
+       ignore
+         (Tree_gen.of_family "star" ~rng:(Rng.create 1)
+            ~n:(Sys.max_array_length + 1) ~depth_hint:1);
+       false
+     with Invalid_argument _ -> true)
+
 let prop_euler_tour_each_edge_twice =
   QCheck.Test.make ~name:"euler tour crosses every edge exactly twice" ~count:100
     QCheck.(int_range 2 200)
@@ -314,6 +339,7 @@ let suite =
       tc "gen hidden path" test_gen_hidden_path;
       tc "gen of_family all" test_gen_of_family_all;
       tc "gen of_family unknown" test_gen_of_family_unknown;
+      tc "gen rejects absurd sizes" test_generators_reject_absurd_sizes;
       tc "builder" test_builder;
       tc "serialization roundtrip" test_serialization_roundtrip;
       tc "serialization errors" test_serialization_errors;

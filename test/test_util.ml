@@ -153,6 +153,21 @@ let test_pow () =
   checki "5^3" 125 (Mathx.pow 5 3);
   checki "1^100" 1 (Mathx.pow 1 100)
 
+let test_saturating () =
+  checki "mul in range" 12 (Mathx.mul_cap 3 4);
+  checki "mul saturates" max_int (Mathx.mul_cap max_int 2);
+  checki "mul big saturates" max_int (Mathx.mul_cap (max_int / 2 + 1) 2);
+  checki "mul zero" 0 (Mathx.mul_cap 0 max_int);
+  checki "add in range" 7 (Mathx.add_cap 3 4);
+  checki "add saturates" max_int (Mathx.add_cap max_int 1);
+  checki "pow in range" 1024 (Mathx.pow_cap 2 10);
+  checki "pow saturates" max_int (Mathx.pow_cap 2 63);
+  checki "pow deep saturates" max_int (Mathx.pow_cap 10 100);
+  checki "pow zero exp" 1 (Mathx.pow_cap 7 0);
+  checkb "mul rejects negatives" true
+    (try ignore (Mathx.mul_cap (-1) 2); false
+     with Invalid_argument _ -> true)
+
 let test_iroot () =
   checki "iroot 8 3" 2 (Mathx.iroot 8 3);
   checki "iroot 9 3" 2 (Mathx.iroot 9 3);
@@ -291,6 +306,7 @@ let suite =
       tc "rng coin bias" test_rng_coin_bias;
       tc "mathx log2i" test_log2i;
       tc "mathx ceil_log2" test_ceil_log2;
+      tc "mathx saturating caps" test_saturating;
       tc "mathx ceil_div" test_ceil_div;
       tc "mathx pow" test_pow;
       tc "mathx iroot" test_iroot;
