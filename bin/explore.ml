@@ -10,6 +10,8 @@
    regions   print the Figure 1 region map
    grid      sweep a warehouse grid with graph-BFDN
    adversary grow a tree adaptively against the explorer
+   tail      pretty-print observability JSONL (frames, spans, logs)
+   promlint  validate a Prometheus text exposition document
 
    All algorithm and world dispatch goes through the Bfdn_scenario
    registries: the enums below are derived from them, so a variant
@@ -32,6 +34,9 @@ module Algo_registry = Bfdn_scenario.Algo_registry
 module World_registry = Bfdn_scenario.World_registry
 module Scenario = Bfdn_scenario.Scenario
 module Json = Bfdn_obs.Json
+module Log = Bfdn_obs.Log
+module Tail = Bfdn_obs.Tail
+module Prometheus = Bfdn_obs.Prometheus
 module Server = Bfdn_serve.Server
 module Client = Bfdn_serve.Client
 
@@ -848,11 +853,61 @@ let serve_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress lifecycle logging.")
   in
-  let action host port workers queue_cap cache_cap timeout_s quiet =
+  let log_level =
+    Arg.(
+      value & opt string "info"
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:"Minimum log severity: debug, info, warn or error.")
+  in
+  let postmortem_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "postmortem-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write a postmortem bundle (spec, metrics, trace frames, span \
+             tree) here for every failed, timed-out or robot-losing job.")
+  in
+  let span_log =
+    Arg.(
+      value & opt (some string) None
+      & info [ "span-log" ] ~docv:"FILE"
+          ~doc:"Append every finished span to this JSONL file.")
+  in
+  let no_trace =
+    Arg.(
+      value & flag
+      & info [ "no-trace" ]
+          ~doc:"Disable per-request span recording (tracing hooks no-op).")
+  in
+  let action host port workers queue_cap cache_cap timeout_s quiet log_level
+      postmortem_dir span_log no_trace =
+    let level =
+      match Log.level_of_name log_level with
+      | Some l -> l
+      | None ->
+          Printf.eprintf "unknown log level %S\n" log_level;
+          exit 2
+    in
+    (* Stderr is itself a JSONL stream: one log object per line, which
+       [explore tail] renders back into readable text. *)
     let log =
-      if quiet then ignore
-      else fun line ->
-        Printf.eprintf "[serve] %s\n%!" line
+      if quiet then Log.ignore_log
+      else
+        Log.create ~level (fun j ->
+            Printf.eprintf "%s\n%!" (Json.to_string j))
+    in
+    let span_sink =
+      Option.map
+        (fun file ->
+          let oc = open_out_gen [ Open_append; Open_creat ] 0o644 file in
+          at_exit (fun () -> close_out_noerr oc);
+          let m = Mutex.create () in
+          fun j ->
+            Mutex.lock m;
+            Sink.write_jsonl oc j;
+            flush oc;
+            Mutex.unlock m)
+        span_log
     in
     let config =
       {
@@ -865,6 +920,9 @@ let serve_cmd =
         cache_cap;
         timeout_s;
         log;
+        trace = not no_trace;
+        span_sink;
+        postmortem_dir;
       }
     in
     let server = Server.create config in
@@ -876,7 +934,8 @@ let serve_cmd =
   let term =
     Term.(
       const action $ host_arg $ port_arg ~default:8080 $ workers $ queue_cap
-      $ cache_cap $ timeout_s $ quiet)
+      $ cache_cap $ timeout_s $ quiet $ log_level $ postmortem_dir $ span_log
+      $ no_trace)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -954,6 +1013,113 @@ let submit_cmd =
           (optionally following the live JSONL trace stream).")
     term
 
+(* ---- tail ---- *)
+
+let tail_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"JSONL file of trace frames, span records and/or log lines.")
+  in
+  let follow =
+    Arg.(
+      value & flag
+      & info [ "follow"; "f" ]
+          ~doc:"Keep the file open and print records as they are appended.")
+  in
+  let timeline =
+    Arg.(
+      value & flag
+      & info [ "timeline" ]
+          ~doc:
+            "After the per-record lines, render an ASCII span timeline of \
+             every span record in the file.")
+  in
+  let action file follow timeline =
+    let spans = ref [] in
+    let emit line =
+      let line = String.trim line in
+      if line <> "" then
+        match Json.of_string line with
+        | Error _ -> print_endline line
+        | Ok j ->
+            if Tail.kind_of j = Tail.Span then spans := j :: !spans;
+            print_endline (Tail.render_line j)
+    in
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec drain () =
+          match input_line ic with
+          | line ->
+              emit line;
+              drain ()
+          | exception End_of_file -> ()
+        in
+        drain ();
+        if follow then begin
+          (* Poll for appended lines; [input_line] raising EOF leaves
+             the channel positioned to retry once more data lands. *)
+          let stop = ref false in
+          Sys.set_signal Sys.sigint
+            (Sys.Signal_handle (fun _ -> stop := true));
+          while not !stop do
+            match input_line ic with
+            | line -> emit line
+            | exception End_of_file -> Unix.sleepf 0.2
+          done
+        end;
+        if timeline then begin
+          let s = Tail.span_timeline (List.rev !spans) in
+          if s <> "" then print_string s
+        end)
+  in
+  let term = Term.(const action $ file $ follow $ timeline) in
+  Cmd.v
+    (Cmd.info "tail"
+       ~doc:
+         "Pretty-print an observability JSONL file (trace frames, spans, \
+          log lines) as aligned text, optionally following appends like \
+          tail -f.")
+    term
+
+(* ---- promlint ---- *)
+
+let promlint_cmd =
+  let file =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Exposition document to check (defaults to stdin).")
+  in
+  let action file =
+    let body =
+      match file with
+      | Some f ->
+          let ic = open_in_bin f in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+      | None -> In_channel.input_all stdin
+    in
+    match Prometheus.validate body with
+    | Ok () -> print_endline "OK"
+    | Error msg ->
+        Printf.eprintf "invalid exposition: %s\n" msg;
+        exit 1
+  in
+  let term = Term.(const action $ file) in
+  Cmd.v
+    (Cmd.info "promlint"
+       ~doc:
+         "Validate a Prometheus text exposition document (as served by \
+          /metrics?format=prometheus) against the 0.0.4 format.")
+    term
+
 let () =
   let doc = "Collaborative tree exploration with Breadth-First Depth-Next (BFDN)." in
   let info = Cmd.info "bfdn-explore" ~version:"1.0.0" ~doc in
@@ -962,5 +1128,6 @@ let () =
        (Cmd.group info
           [
             run_cmd; sweep_cmd; list_cmd; serve_cmd; submit_cmd; game_cmd;
-            regions_cmd; grid_cmd; adversary_cmd; bounds_cmd;
+            regions_cmd; grid_cmd; adversary_cmd; bounds_cmd; tail_cmd;
+            promlint_cmd;
           ]))

@@ -82,6 +82,8 @@ let snapshot ?(prefix = "gc") t =
     (Metrics.gauge t.registry (prefix ^ "_minor_words"))
     s.Gc.minor_words
 
+let alarm_active t = t.alarm <> None
+
 let dispose t =
   match t.alarm with
   | None -> ()

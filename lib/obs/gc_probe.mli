@@ -38,5 +38,9 @@ val snapshot : ?prefix:string -> t -> unit
     [_heap_words], [_top_heap_words], [_minor_words]). Allocates — for
     run boundaries, not the round loop. *)
 
+val alarm_active : t -> bool
+(** Whether the runtime alarm is still installed (false after
+    {!dispose}). *)
+
 val dispose : t -> unit
 (** Delete the runtime alarm. Idempotent. *)

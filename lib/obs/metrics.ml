@@ -160,8 +160,48 @@ let find t name = Hashtbl.find_opt t.tbl name
 let find_counter t name =
   match find t name with Some (Counter c) -> Some c | _ -> None
 
+let find_gauge t name =
+  match find t name with Some (Gauge g) -> Some g | _ -> None
+
 let find_histogram t name =
   match find t name with Some (Histogram h) -> Some h | _ -> None
+
+(* Quantile estimate from the bucket counts: find the bucket holding the
+   p-th ranked observation and interpolate linearly inside it, with the
+   observed min/max tightening the first and overflow buckets (and, as a
+   clamp, any bucket wider than the data it holds). Exact when all mass
+   sits in one bucket (min = max there), within one bucket width
+   otherwise — the resolution the exponential ladders are chosen for. *)
+let quantile h p =
+  if h.h_count = 0 then 0.0
+  else begin
+    let p = Float.max 0.0 (Float.min 1.0 p) in
+    let target = p *. float_of_int h.h_count in
+    let nb = Array.length h.counts in
+    let result = ref (hist_max h) in
+    let cum = ref 0 in
+    (try
+       for i = 0 to nb - 1 do
+         let c = h.counts.(i) in
+         if c > 0 && float_of_int (!cum + c) >= target then begin
+           let lo =
+             if i = 0 then hist_min h
+             else Float.max (hist_min h) h.bounds.(i - 1)
+           in
+           let hi =
+             if i >= Array.length h.bounds then hist_max h
+             else Float.min (hist_max h) h.bounds.(i)
+           in
+           let frac = (target -. float_of_int !cum) /. float_of_int c in
+           let frac = Float.max 0.0 (Float.min 1.0 frac) in
+           result := lo +. (frac *. (hi -. lo));
+           raise Exit
+         end;
+         cum := !cum + c
+       done
+     with Exit -> ());
+    !result
+  end
 
 let names t = List.rev t.rev_order
 
@@ -203,6 +243,9 @@ let json_of_histogram h =
       ("sum", Json.Float (hist_sum h));
       ("min", Json.Float (hist_min h));
       ("max", Json.Float (hist_max h));
+      ("p50", Json.Float (quantile h 0.5));
+      ("p90", Json.Float (quantile h 0.9));
+      ("p99", Json.Float (quantile h 0.99));
       ("buckets", Json.List buckets);
     ]
 

@@ -57,6 +57,14 @@ val hist_sum : histogram -> float
 val hist_min : histogram -> float
 val hist_max : histogram -> float
 
+val quantile : histogram -> float -> float
+(** [quantile h p] estimates the [p]-th quantile ([p] clamped to
+    [0, 1]) from the bucket counts: linear interpolation inside the
+    bucket holding the [p]-th ranked observation, tightened by the
+    observed min/max. [0.0] on an empty histogram; exact when the
+    containing bucket holds a single distinct value, otherwise within
+    one bucket width. *)
+
 val num_buckets : histogram -> int
 (** Number of buckets including the overflow bucket. *)
 
@@ -79,6 +87,7 @@ val merge_into : into:t -> t -> unit
     @raise Invalid_argument on kind or histogram-bounds mismatch. *)
 
 val find_counter : t -> string -> counter option
+val find_gauge : t -> string -> gauge option
 val find_histogram : t -> string -> histogram option
 
 val names : t -> string list
@@ -86,7 +95,8 @@ val names : t -> string list
 
 val to_json : t -> Json.t
 (** Object keyed by metric name; histograms expand to
-    [{count, sum, min, max, buckets: [{le, count}]}]. *)
+    [{count, sum, min, max, p50, p90, p99, buckets: [{le, count}]}]
+    with the quantiles estimated by {!quantile}. *)
 
 val render : t -> string
 (** ASCII dashboard: bar chart of counters/gauges, then one summary line

@@ -1,0 +1,22 @@
+(** Terminal rendering of mixed observability JSONL streams — the
+    trace frames, span records and log lines the serve layer emits —
+    behind [explore tail]. Builds on the PR 3 ASCII dashboard
+    renderer ({!Bfdn_util.Ascii}) for the aggregate charts. *)
+
+type kind = Span | Log | Frame | Other
+
+val kind_of : Json.t -> kind
+(** Classify one JSONL record by its members: a span has [name] and
+    [dur_ns], a log line [level] and [msg], a trace frame [round] and
+    [explored]. *)
+
+val render_line : Json.t -> string
+(** One aligned text line (no trailing newline) for any record kind;
+    unknown records render as compact JSON. *)
+
+val span_timeline : ?width:int -> Json.t list -> string
+(** An ASCII timeline of flat span records (the {!Span} sink JSONL
+    form): one row per span in start order, indented by tree depth,
+    with a bar positioned and scaled on a [width]-column (default 48)
+    axis spanning the whole trace, plus a total-duration bar chart per
+    span name. [""] when no span records are given. *)

@@ -1,5 +1,7 @@
 module Scenario = Bfdn_scenario.Scenario
 module Stream = Bfdn_obs.Sink.Stream
+module Ring = Bfdn_obs.Sink.Ring
+module Span = Bfdn_obs.Span
 module Pool = Bfdn_engine.Pool
 
 type state =
@@ -29,8 +31,14 @@ type job = {
   timeout_s : float;
   stream : Stream.t;
   token : Pool.token;
+  trace : string;
+  span : Span.t;
+  root_span : Span.id;
+  queue_span : Span.id;
+  frames : Bfdn_obs.Json.t Ring.t;
   mutable state : state;
   mutable timed_out : bool;
+  mutable postmortem : string option;
 }
 
 type t = {
@@ -90,7 +98,10 @@ let prune t =
   Queue.transfer t.order parked;
   Queue.transfer parked t.order
 
-let admit t ~timeout_s ~fingerprint spec =
+let frame_ring_cap = 64
+
+let admit ?(trace = "") ?(span = Span.disabled) ?(parent = Span.none) t
+    ~timeout_s ~fingerprint spec =
   locked t (fun () ->
       if t.draining then Error `Draining
       else if t.inflight >= t.capacity then Error `Full
@@ -105,8 +116,16 @@ let admit t ~timeout_s ~fingerprint spec =
             timeout_s;
             stream = Stream.create ();
             token = Pool.token ();
+            trace;
+            span;
+            root_span = parent;
+            (* Opened here so the span covers admission-to-execution
+               latency; the executor closes it at [mark_running]. *)
+            queue_span = Span.start ~parent span "queue";
+            frames = Ring.create frame_ring_cap;
             state = Queued;
             timed_out = false;
+            postmortem = None;
           }
         in
         Hashtbl.replace t.jobs id job;

@@ -33,10 +33,24 @@ type job = {
   timeout_s : float;
   stream : Bfdn_obs.Sink.Stream.t;  (** live trace frames of the run *)
   token : Bfdn_engine.Pool.token;
+  trace : string;  (** correlation id minted at the HTTP edge *)
+  span : Bfdn_obs.Span.t;
+      (** the request's span recorder ({!Bfdn_obs.Span.disabled} when
+          tracing is off) — serves [GET /jobs/:id/spans] *)
+  root_span : Bfdn_obs.Span.id;  (** the request root span *)
+  queue_span : Bfdn_obs.Span.id;
+      (** opened by {!admit}, closed by the executor at
+          {!mark_running}: admission-to-execution latency *)
+  frames : Bfdn_obs.Json.t Bfdn_obs.Sink.Ring.t;
+      (** last N trace frames, kept for the postmortem bundle (the
+          consumable {!stream} cannot be replayed); written only by
+          the executing worker *)
   mutable state : state;  (** read/written under the table's lock only *)
   mutable timed_out : bool;
       (** set (before cancelling the token) by the deadline check, so
           the executor can tell a timeout from an external cancel *)
+  mutable postmortem : string option;
+      (** path of the postmortem bundle, once the server wrote one *)
 }
 
 type t
@@ -49,13 +63,19 @@ val create : ?cap:int -> ?keep_terminal:int -> unit -> t
 val cap : t -> int
 
 val admit :
+  ?trace:string ->
+  ?span:Bfdn_obs.Span.t ->
+  ?parent:Bfdn_obs.Span.id ->
   t ->
   timeout_s:float ->
   fingerprint:string ->
   Bfdn_scenario.Scenario.t ->
   (job, [ `Full | `Draining ]) result
 (** Register a fresh [Queued] job, or refuse: [`Full] is the 429 path
-    (the caller never runs the job), [`Draining] the 503 path. *)
+    (the caller never runs the job), [`Draining] the 503 path. [trace]
+    (default [""]), [span] (default disabled) and [parent] thread the
+    caller's correlation id and span recorder onto the job; admission
+    opens the job's [queue] span under [parent]. *)
 
 val find : t -> int -> job option
 

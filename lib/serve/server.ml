@@ -2,6 +2,10 @@ module Json = Bfdn_obs.Json
 module Metrics = Bfdn_obs.Metrics
 module Probe = Bfdn_obs.Probe
 module Stream = Bfdn_obs.Sink.Stream
+module Ring = Bfdn_obs.Sink.Ring
+module Span = Bfdn_obs.Span
+module Log = Bfdn_obs.Log
+module Prometheus = Bfdn_obs.Prometheus
 module Clock = Bfdn_util.Clock
 module Pool = Bfdn_engine.Pool
 module Scenario = Bfdn_scenario.Scenario
@@ -15,7 +19,10 @@ type config = {
   queue_cap : int;
   cache_cap : int;
   timeout_s : float;
-  log : string -> unit;
+  log : Log.t;
+  trace : bool;
+  span_sink : (Json.t -> unit) option;
+  postmortem_dir : string option;
 }
 
 let default_config =
@@ -26,7 +33,10 @@ let default_config =
     queue_cap = 64;
     cache_cap = 256;
     timeout_s = 60.;
-    log = ignore;
+    log = Log.ignore_log;
+    trace = true;
+    span_sink = None;
+    postmortem_dir = None;
   }
 
 type t = {
@@ -50,6 +60,7 @@ type t = {
   gc_reg : Metrics.t;
   gc_m : Mutex.t;
   gc_probe : Bfdn_obs.Gc_probe.t;
+  trace_ctr : int Atomic.t;
   stopping : bool Atomic.t;
   conn_m : Mutex.t;
   conn_done : Condition.t;
@@ -73,6 +84,10 @@ let create config =
   let workers = max 1 config.workers in
   let worker_regs = Array.init workers (fun _ -> Metrics.create ()) in
   let gc_reg = Metrics.create () in
+  let http_reg = Metrics.create () in
+  (* Registered eagerly so a /metrics scrape racing the very first
+     request still sees the latency family. *)
+  ignore (Metrics.histogram http_reg "request_s");
   {
     config;
     listen_fd = fd;
@@ -81,13 +96,14 @@ let create config =
     cache = Result_cache.create ~cap:config.cache_cap;
     pool = Pool.create ~probe:(Probe.pool_probe worker_regs) ~workers ();
     worker_regs;
-    http_reg = Metrics.create ();
+    http_reg;
     http_m = Mutex.create ();
     jobs_reg = Metrics.create ();
     jobs_m = Mutex.create ();
     gc_reg;
     gc_m = Mutex.create ();
     gc_probe = Bfdn_obs.Gc_probe.create gc_reg;
+    trace_ctr = Atomic.make 0;
     stopping = Atomic.make false;
     conn_m = Mutex.create ();
     conn_done = Condition.create ();
@@ -113,6 +129,19 @@ let tick_gc t =
   Bfdn_obs.Gc_probe.tick t.gc_probe;
   Mutex.unlock t.gc_m
 
+(* Correlation id minted at the HTTP edge: a per-process sequence plus
+   monotonic-clock bits so ids from server restarts rarely collide in a
+   shared log. *)
+let fresh_trace t =
+  Printf.sprintf "t%06x-%04x"
+    (Clock.now_ns () lsr 10 land 0xffffff)
+    (Atomic.fetch_and_add t.trace_ctr 1 land 0xffff)
+
+let span_recorder t ~trace =
+  if t.config.trace then
+    Span.create ?sink:t.config.span_sink ~trace_id:trace ()
+  else Span.disabled
+
 (* ---- response helpers ---- *)
 
 let respond_json fd ~status ?headers j =
@@ -120,33 +149,155 @@ let respond_json fd ~status ?headers j =
 
 let error_body msg = Json.Obj [ ("error", Json.String msg) ]
 
+(* ---- postmortem bundles ---- *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Written by the executing worker after the run ends but before the job
+   settles, so by the time a waiter sees the terminal state the bundle
+   path is already linked from the job. *)
+let write_postmortem t (job : Q.job) reg ~reason ~state_name =
+  match t.config.postmortem_dir with
+  | None -> ()
+  | Some dir -> (
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "job-%d-%s.json" job.Q.id job.Q.fingerprint)
+      in
+      let bundle =
+        Json.Obj
+          [
+            ("schema_version", Json.Int 1);
+            ("trace", Json.String job.Q.trace);
+            ("job_id", Json.Int job.Q.id);
+            ("reason", Json.String reason);
+            ("state", Json.String state_name);
+            ("fingerprint", Json.String job.Q.fingerprint);
+            ("seed", Json.Int job.Q.spec.Scenario.seed);
+            ("spec", Scenario.to_json job.Q.spec);
+            ("metrics", Metrics.to_json reg);
+            ("frames", Json.List (Ring.to_list job.Q.frames));
+            ("frames_dropped", Json.Int (Ring.dropped job.Q.frames));
+            ("spans", Span.tree_json job.Q.span);
+          ]
+      in
+      try
+        mkdir_p dir;
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc (Json.to_string bundle);
+            output_char oc '\n');
+        job.Q.postmortem <- Some path;
+        Log.warn t.config.log ~trace:job.Q.trace
+          ~attrs:[ ("path", Span.Str path); ("reason", Span.Str reason) ]
+          "postmortem bundle written"
+      with Sys_error msg | Unix.Unix_error (_, msg, _) ->
+        Log.error t.config.log ~trace:job.Q.trace
+          ~attrs:[ ("path", Span.Str path); ("detail", Span.Str msg) ]
+          "postmortem bundle failed")
+
 (* ---- job execution (runs on a pool worker domain) ---- *)
 
 let exec t (job : Q.job) =
   if Q.mark_running t.adm job then begin
+    Span.finish job.Q.span job.Q.queue_span;
+    let exe = Span.start ~parent:job.Q.root_span job.Q.span "execute" in
     let reg = Metrics.create () in
     let deadline =
       Clock.now_ns () + int_of_float (job.Q.timeout_s *. 1e9)
     in
     let on_round env =
-      Stream.push job.Q.stream (Trace.json_of_frame (Trace.frame_of_env env));
+      let frame = Trace.json_of_frame (Trace.frame_of_env env) in
+      Stream.push job.Q.stream frame;
+      Ring.push job.Q.frames frame;
       if Clock.now_ns () > deadline then begin
         job.Q.timed_out <- true;
         Pool.cancel job.Q.token
       end;
       Pool.check job.Q.token
     in
-    (match Scenario.run ~probe:(Probe.of_metrics reg) ~on_round job.Q.spec with
+    let phased, close_phases =
+      Span.phase_probe job.Q.span ~parent:exe (Probe.of_metrics reg)
+    in
+    (* Bracket the runner loop itself: [Scenario.run] spends setup time
+       (world generation, env and algorithm construction) before its
+       first round, so the execute span alone cannot anchor the
+       phase-sum invariant. The run span opens at the loop's first
+       phase measurement and closes with the phases, so the three
+       accumulated phase durations sum to its wall time. *)
+    let run_span = ref Span.none in
+    let probe =
+      if Span.enabled job.Q.span then begin
+        let base = phased.Probe.on_phase in
+        let on_phase ph ns =
+          if !run_span = Span.none then
+            run_span := Span.start ~parent:exe job.Q.span "run";
+          base ph ns
+        in
+        { phased with Probe.on_phase }
+      end
+      else phased
+    in
+    let finish_exe state_name =
+      close_phases ();
+      Span.finish job.Q.span !run_span;
+      Span.finish ~attrs:[ ("state", Span.Str state_name) ] job.Q.span exe
+    in
+    let lost_robots () =
+      match Metrics.find_counter reg "robots_lost" with
+      | Some c -> Metrics.value c
+      | None -> 0
+    in
+    (* Merge the job's registry before settling: the waiter wakes at
+       settle and may scrape /metrics immediately. *)
+    let settle_with st =
+      Mutex.lock t.jobs_m;
+      Metrics.merge_into ~into:t.jobs_reg reg;
+      Mutex.unlock t.jobs_m;
+      Q.settle t.adm job st
+    in
+    match Scenario.run ~probe ~on_round job.Q.spec with
     | outcome ->
+        finish_exe "done";
         let body = Json.to_string (Scenario.outcome_to_json outcome) in
         Result_cache.put t.cache job.Q.fingerprint body;
-        Q.settle t.adm job (Q.Done body)
+        (* Fault-tolerant runs that lost robots finish, but are exactly
+           the runs an operator wants a bundle for. *)
+        let lost = lost_robots () in
+        if lost > 0 then
+          write_postmortem t job reg
+            ~reason:(Printf.sprintf "robots_lost=%d" lost)
+            ~state_name:"done";
+        Log.info t.config.log ~trace:job.Q.trace
+          ~attrs:[ ("job", Span.Int job.Q.id); ("state", Span.Str "done") ]
+          "job settled";
+        settle_with (Q.Done body)
     | exception Pool.Cancelled ->
-        Q.settle t.adm job (if job.Q.timed_out then Q.Timeout else Q.Cancelled)
-    | exception e -> Q.settle t.adm job (Q.Failed (Printexc.to_string e)));
-    Mutex.lock t.jobs_m;
-    Metrics.merge_into ~into:t.jobs_reg reg;
-    Mutex.unlock t.jobs_m
+        let st = if job.Q.timed_out then Q.Timeout else Q.Cancelled in
+        let name = Q.state_name st in
+        finish_exe name;
+        if job.Q.timed_out then
+          write_postmortem t job reg ~reason:"timeout" ~state_name:name;
+        Log.warn t.config.log ~trace:job.Q.trace
+          ~attrs:[ ("job", Span.Int job.Q.id); ("state", Span.Str name) ]
+          "job settled";
+        settle_with st
+    | exception e ->
+        let msg = Printexc.to_string e in
+        finish_exe "failed";
+        write_postmortem t job reg ~reason:("exception: " ^ msg)
+          ~state_name:"failed";
+        Log.error t.config.log ~trace:job.Q.trace
+          ~attrs:[ ("job", Span.Int job.Q.id); ("detail", Span.Str msg) ]
+          "job failed";
+        settle_with (Q.Failed msg)
   end
 
 (* ---- handlers ---- *)
@@ -163,16 +314,42 @@ let job_status_json (job : Q.job) st =
       ("id", Json.Int job.Q.id);
       ("status", Json.String (Q.state_name st));
       ("fingerprint", Json.String job.Q.fingerprint);
+      ("trace", Json.String job.Q.trace);
     ]
   in
+  let postmortem =
+    match job.Q.postmortem with
+    | Some path -> [ ("postmortem", Json.String path) ]
+    | None -> []
+  in
   match st with
-  | Q.Failed msg -> Json.Obj (base @ [ ("error", Json.String msg) ])
-  | _ -> Json.Obj base
+  | Q.Failed msg -> Json.Obj (base @ [ ("error", Json.String msg) ] @ postmortem)
+  | _ -> Json.Obj (base @ postmortem)
 
-let handle_run t req fd =
-  match Json.of_string_pos req.Http.body with
-  | Error e ->
+let handle_run t req ~trace fd =
+  let sp = span_recorder t ~trace in
+  let root = Span.start sp "request" in
+  let parse_span = Span.start ~parent:root sp "parse" in
+  let parsed =
+    match Json.of_string_pos req.Http.body with
+    | Error e -> Error (`Json e)
+    | Ok j -> (
+        match Scenario.of_json j with
+        | Error msg -> Error (`Spec msg)
+        | Ok spec -> (
+            match Scenario.validate spec with
+            | Error msg -> Error (`Spec msg)
+            | Ok () -> Ok spec))
+  in
+  Span.finish
+    ~attrs:[ ("ok", Span.Bool (Result.is_ok parsed)) ]
+    sp parse_span;
+  (match parsed with
+  | Error (`Json e) ->
       count t "bad_requests";
+      Log.debug t.config.log ~trace
+        ~attrs:[ ("detail", Span.Str e.Json.msg) ]
+        "spec rejected: invalid JSON";
       respond_json fd ~status:400
         (Json.Obj
            [
@@ -182,80 +359,103 @@ let handle_run t req fd =
              ("col", Json.Int e.Json.col);
              ("offset", Json.Int e.Json.offset);
            ])
-  | Ok j -> (
-      match
-        match Scenario.of_json j with
-        | Error msg -> Error msg
-        | Ok spec -> (
-            match Scenario.validate spec with
-            | Error msg -> Error msg
-            | Ok () -> Ok spec)
-      with
-      | Error msg ->
-          count t "bad_requests";
-          respond_json fd ~status:400 (error_body msg)
-      | Ok spec -> (
-          let fingerprint = Scenario.fingerprint spec in
-          match Result_cache.find t.cache fingerprint with
-          | Some body ->
-              count t "cache_hits";
-              Http.write_response fd ~status:200
-                (result_body ~cache:"hit" ~fingerprint body)
-          | None -> (
-              count t "cache_misses";
-              let timeout_s =
-                match Http.query_param "timeout_s" req with
-                | Some v -> (
-                    match float_of_string_opt v with
-                    | Some f when f > 0. -> f
-                    | _ -> t.config.timeout_s)
-                | None -> t.config.timeout_s
+  | Error (`Spec msg) ->
+      count t "bad_requests";
+      Log.debug t.config.log ~trace
+        ~attrs:[ ("detail", Span.Str msg) ]
+        "spec rejected";
+      respond_json fd ~status:400 (error_body msg)
+  | Ok spec -> (
+      let fingerprint = Scenario.fingerprint spec in
+      let cache_span = Span.start ~parent:root sp "cache_lookup" in
+      let cached = Result_cache.find t.cache fingerprint in
+      Span.finish
+        ~attrs:[ ("hit", Span.Bool (cached <> None)) ]
+        sp cache_span;
+      match cached with
+      | Some body ->
+          count t "cache_hits";
+          Http.write_response fd ~status:200
+            (result_body ~cache:"hit" ~fingerprint body)
+      | None -> (
+          count t "cache_misses";
+          let timeout_s =
+            match Http.query_param "timeout_s" req with
+            | Some v -> (
+                match float_of_string_opt v with
+                | Some f when f > 0. -> f
+                | _ -> t.config.timeout_s)
+            | None -> t.config.timeout_s
+          in
+          let admit_span = Span.start ~parent:root sp "admission" in
+          let admitted =
+            Q.admit ~trace ~span:sp ~parent:root t.adm ~timeout_s ~fingerprint
+              spec
+          in
+          Span.finish
+            ~attrs:
+              [
+                ( "outcome",
+                  Span.Str
+                    (match admitted with
+                    | Ok _ -> "admitted"
+                    | Error `Full -> "full"
+                    | Error `Draining -> "draining") );
+              ]
+            sp admit_span;
+          match admitted with
+          | Error `Full ->
+              count t "rejected_busy";
+              respond_json fd ~status:429
+                ~headers:
+                  [
+                    ( "Retry-After",
+                      string_of_int (Q.retry_after_s t.adm) );
+                  ]
+                (Json.Obj
+                   [
+                     ("error", Json.String "job queue is full");
+                     ("inflight", Json.Int (Q.inflight t.adm));
+                     ("cap", Json.Int (Q.cap t.adm));
+                   ])
+          | Error `Draining ->
+              respond_json fd ~status:503
+                (error_body "server is draining")
+          | Ok job -> (
+              count t "jobs_admitted";
+              Log.debug t.config.log ~trace
+                ~attrs:
+                  [
+                    ("job", Span.Int job.Q.id);
+                    ("fingerprint", Span.Str fingerprint);
+                  ]
+                "job admitted";
+              Pool.submit ~token:job.Q.token t.pool (fun () -> exec t job);
+              let async =
+                match Http.query_param "wait" req with
+                | Some ("0" | "false" | "no") -> true
+                | _ -> false
               in
-              match Q.admit t.adm ~timeout_s ~fingerprint spec with
-              | Error `Full ->
-                  count t "rejected_busy";
-                  respond_json fd ~status:429
-                    ~headers:
-                      [
-                        ( "Retry-After",
-                          string_of_int (Q.retry_after_s t.adm) );
-                      ]
-                    (Json.Obj
-                       [
-                         ("error", Json.String "job queue is full");
-                         ("inflight", Json.Int (Q.inflight t.adm));
-                         ("cap", Json.Int (Q.cap t.adm));
-                       ])
-              | Error `Draining ->
-                  respond_json fd ~status:503
-                    (error_body "server is draining")
-              | Ok job -> (
-                  count t "jobs_admitted";
-                  Pool.submit ~token:job.Q.token t.pool (fun () -> exec t job);
-                  let async =
-                    match Http.query_param "wait" req with
-                    | Some ("0" | "false" | "no") -> true
-                    | _ -> false
-                  in
-                  if async then
-                    respond_json fd ~status:202 (job_status_json job Q.Queued)
-                  else
-                    match Q.await t.adm job with
-                    | Q.Done body ->
-                        Http.write_response fd ~status:200
-                          (result_body ~cache:"miss" ~fingerprint body)
-                    | Q.Timeout ->
-                        count t "timeouts";
-                        respond_json fd ~status:504
-                          (job_status_json job Q.Timeout)
-                    | Q.Cancelled ->
-                        respond_json fd ~status:503
-                          (job_status_json job Q.Cancelled)
-                    | Q.Failed msg ->
-                        respond_json fd ~status:500
-                          (job_status_json job (Q.Failed msg))
-                    | (Q.Queued | Q.Running) as st ->
-                        respond_json fd ~status:500 (job_status_json job st)))))
+              if async then
+                respond_json fd ~status:202 (job_status_json job Q.Queued)
+              else
+                match Q.await t.adm job with
+                | Q.Done body ->
+                    Http.write_response fd ~status:200
+                      (result_body ~cache:"miss" ~fingerprint body)
+                | Q.Timeout ->
+                    count t "timeouts";
+                    respond_json fd ~status:504
+                      (job_status_json job Q.Timeout)
+                | Q.Cancelled ->
+                    respond_json fd ~status:503
+                      (job_status_json job Q.Cancelled)
+                | Q.Failed msg ->
+                    respond_json fd ~status:500
+                      (job_status_json job (Q.Failed msg))
+                | (Q.Queued | Q.Running) as st ->
+                    respond_json fd ~status:500 (job_status_json job st)))));
+  Span.finish sp root
 
 let with_job t params fd k =
   match List.assoc_opt "id" params with
@@ -272,17 +472,27 @@ let with_job t params fd k =
                 (error_body (Printf.sprintf "no such job %d" id))
           | Some job -> k job))
 
-let handle_job_status t _req params fd =
+let handle_job_status t _req params ~trace:_ fd =
   with_job t params fd (fun job ->
       match Q.state t.adm job with
       | Q.Done body ->
+          let postmortem =
+            match job.Q.postmortem with
+            | Some path -> Printf.sprintf ",\"postmortem\":\"%s\"" (Json.escape path)
+            | None -> ""
+          in
           Http.write_response fd ~status:200
             (Printf.sprintf
-               "{\"id\":%d,\"status\":\"done\",\"fingerprint\":\"%s\",\"result\":%s}"
-               job.Q.id job.Q.fingerprint body)
+               "{\"id\":%d,\"status\":\"done\",\"fingerprint\":\"%s\",\"trace\":\"%s\"%s,\"result\":%s}"
+               job.Q.id job.Q.fingerprint (Json.escape job.Q.trace) postmortem
+               body)
       | st -> respond_json fd ~status:200 (job_status_json job st))
 
-let handle_job_stream t _req params fd =
+let handle_job_spans t _req params ~trace:_ fd =
+  with_job t params fd (fun job ->
+      respond_json fd ~status:200 (Span.tree_json job.Q.span))
+
+let handle_job_stream t _req params ~trace:_ fd =
   with_job t params fd (fun job ->
       Http.start_chunked fd ~status:200 ();
       let send j = Http.send_chunk fd (Json.to_string j ^ "\n") in
@@ -312,35 +522,56 @@ let merged_metrics t =
   Array.iter (fun reg -> Metrics.merge_into ~into:merged reg) t.worker_regs;
   merged
 
-let handle_metrics t _req _params fd =
+let handle_metrics t req _params ~trace:_ fd =
   let stats = Result_cache.stats t.cache in
-  respond_json fd ~status:200
-    (Json.Obj
-       [
-         ("metrics", Metrics.to_json (merged_metrics t));
-         ( "cache",
-           Json.Obj
-             [
-               ("hits", Json.Int stats.Result_cache.hits);
-               ("misses", Json.Int stats.Result_cache.misses);
-               ("evictions", Json.Int stats.Result_cache.evictions);
-               ("size", Json.Int stats.Result_cache.size);
-               ("cap", Json.Int (Result_cache.cap t.cache));
-             ] );
-         ( "jobs",
-           Json.Obj
-             [
-               ("admitted", Json.Int (Q.jobs_admitted t.adm));
-               ("inflight", Json.Int (Q.inflight t.adm));
-               ("queue_cap", Json.Int (Q.cap t.adm));
-             ] );
-         ("workers", Json.Int (Pool.workers t.pool));
-       ])
+  match Http.query_param "format" req with
+  | Some "prometheus" ->
+      (* Fold the service-level statistics into the merged registry as
+         ordinary metrics (distinct names: the HTTP counter registry
+         already owns "cache_hits" for request accounting), so one
+         exposition document carries every registry. *)
+      let merged = merged_metrics t in
+      let c name v = Metrics.add (Metrics.counter merged name) v in
+      let g name v = Metrics.set (Metrics.gauge merged name) v in
+      c "result_cache_hits" stats.Result_cache.hits;
+      c "result_cache_misses" stats.Result_cache.misses;
+      c "result_cache_evictions" stats.Result_cache.evictions;
+      g "result_cache_size" (float_of_int stats.Result_cache.size);
+      g "result_cache_cap" (float_of_int (Result_cache.cap t.cache));
+      c "admission_admitted" (Q.jobs_admitted t.adm);
+      g "admission_inflight" (float_of_int (Q.inflight t.adm));
+      g "admission_queue_cap" (float_of_int (Q.cap t.adm));
+      g "pool_workers" (float_of_int (Pool.workers t.pool));
+      Http.write_response fd ~status:200 ~content_type:Prometheus.content_type
+        (Prometheus.render merged)
+  | _ ->
+      respond_json fd ~status:200
+        (Json.Obj
+           [
+             ("metrics", Metrics.to_json (merged_metrics t));
+             ( "cache",
+               Json.Obj
+                 [
+                   ("hits", Json.Int stats.Result_cache.hits);
+                   ("misses", Json.Int stats.Result_cache.misses);
+                   ("evictions", Json.Int stats.Result_cache.evictions);
+                   ("size", Json.Int stats.Result_cache.size);
+                   ("cap", Json.Int (Result_cache.cap t.cache));
+                 ] );
+             ( "jobs",
+               Json.Obj
+                 [
+                   ("admitted", Json.Int (Q.jobs_admitted t.adm));
+                   ("inflight", Json.Int (Q.inflight t.adm));
+                   ("queue_cap", Json.Int (Q.cap t.adm));
+                 ] );
+             ("workers", Json.Int (Pool.workers t.pool));
+           ])
 
-let handle_registry _t _req _params fd =
+let handle_registry _t _req _params ~trace:_ fd =
   respond_json fd ~status:200 (Scenario.registry_json ())
 
-let handle_health t _req _params fd =
+let handle_health t _req _params ~trace:_ fd =
   respond_json fd ~status:200
     (Json.Obj
        [
@@ -351,9 +582,10 @@ let handle_health t _req _params fd =
 
 let routes t =
   [
-    Router.route ~meth:"POST" "/run" (fun req _params fd ->
-        handle_run t req fd);
+    Router.route ~meth:"POST" "/run" (fun req _params ~trace fd ->
+        handle_run t req ~trace fd);
     Router.route ~meth:"GET" "/jobs/:id" (handle_job_status t);
+    Router.route ~meth:"GET" "/jobs/:id/spans" (handle_job_spans t);
     Router.route ~meth:"GET" "/jobs/:id/stream" (handle_job_stream t);
     Router.route ~meth:"GET" "/metrics" (handle_metrics t);
     Router.route ~meth:"GET" "/registry" (handle_registry t);
@@ -364,6 +596,7 @@ let routes t =
 
 let handle_connection t routes fd =
   let t0 = Clock.now_ns () in
+  let trace = fresh_trace t in
   (try
      match Http.read_request (Http.reader fd) with
      | Error msg ->
@@ -371,10 +604,17 @@ let handle_connection t routes fd =
          respond_json fd ~status:400 (error_body msg)
      | Ok req -> (
          count t "requests";
+         Log.debug t.config.log ~trace
+           ~attrs:
+             [
+               ("method", Span.Str req.Http.meth);
+               ("target", Span.Str req.Http.target);
+             ]
+           "request";
          match
            Router.dispatch routes ~meth:req.Http.meth ~path:req.Http.path
          with
-         | Router.Match (handler, params) -> handler req params fd
+         | Router.Match (handler, params) -> handler req params ~trace fd
          | Router.Method_not_allowed allowed ->
              respond_json fd ~status:405
                ~headers:[ ("Allow", String.concat ", " allowed) ]
@@ -384,6 +624,9 @@ let handle_connection t routes fd =
    with
   | Unix.Unix_error _ -> () (* client went away mid-response *)
   | e -> (
+      Log.error t.config.log ~trace
+        ~attrs:[ ("detail", Span.Str (Printexc.to_string e)) ]
+        "handler raised";
       try respond_json fd ~status:500 (error_body (Printexc.to_string e))
       with _ -> ()));
   observe_latency t (float_of_int (Clock.now_ns () - t0) *. 1e-9);
@@ -398,7 +641,7 @@ let handle_connection t routes fd =
 
 let stop t =
   if not (Atomic.exchange t.stopping true) then begin
-    t.config.log "stop requested";
+    Log.info t.config.log "stop requested";
     (* Wake a blocked [accept] — closing alone does not, on Linux. *)
     try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
     with Unix.Unix_error _ -> ()
@@ -407,10 +650,16 @@ let stop t =
 let run t =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let routes = routes t in
-  t.config.log
-    (Printf.sprintf "listening on http://%s:%d (%d workers, queue %d, cache %d)"
-       t.config.host t.bound_port (Pool.workers t.pool) t.config.queue_cap
-       t.config.cache_cap);
+  Log.info t.config.log
+    ~attrs:
+      [
+        ("host", Span.Str t.config.host);
+        ("port", Span.Int t.bound_port);
+        ("workers", Span.Int (Pool.workers t.pool));
+        ("queue_cap", Span.Int t.config.queue_cap);
+        ("cache_cap", Span.Int t.config.cache_cap);
+      ]
+    "listening";
   let rec loop () =
     if not (Atomic.get t.stopping) then
       match Unix.accept t.listen_fd with
@@ -426,7 +675,7 @@ let run t =
           if not (Atomic.get t.stopping) then loop ()
   in
   loop ();
-  t.config.log "draining";
+  Log.info t.config.log "draining";
   Q.drain t.adm;
   Q.await_idle t.adm;
   Mutex.lock t.conn_m;
@@ -437,4 +686,4 @@ let run t =
   Pool.shutdown t.pool;
   Bfdn_obs.Gc_probe.dispose t.gc_probe;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  t.config.log "drained"
+  Log.info t.config.log "drained"

@@ -9,20 +9,36 @@
     SIGTERM (via {!stop}) drains gracefully: stop accepting, cancel
     queued jobs, let running jobs finish, shut the pool down.
 
+    Every request is assigned a correlation id at the edge; when
+    [trace] is on, a {!Bfdn_obs.Span} recorder follows the request
+    through parsing, cache lookup, admission, pool queueing and the
+    runner's clock-bracketed phases, and is served back as a span tree
+    from [GET /jobs/:id/spans]. Lifecycle events go through the
+    structured {!Bfdn_obs.Log}; failed, timed-out, or robot-losing
+    jobs leave a postmortem bundle in [postmortem_dir].
+
     Endpoints:
     - [POST /run] — body: a {!Bfdn_scenario.Scenario} spec. Responds
       [{cache, fingerprint, result}] with [cache] ["hit"] or ["miss"]
       and [result] byte-identical either way. Malformed JSON → 400 with
       a position-annotated error body; queue full → 429 +
       [Retry-After]; draining → 503; per-job timeout → 504. Query
-      parameters: [wait=0] returns 202 [{id, status, fingerprint}]
-      immediately; [timeout_s=F] overrides the default job timeout.
-    - [GET /jobs/:id] — job status, with [result] once done.
+      parameters: [wait=0] returns 202 [{id, status, fingerprint,
+      trace}] immediately; [timeout_s=F] overrides the default job
+      timeout.
+    - [GET /jobs/:id] — job status, with [result] once done and
+      [postmortem] when a bundle was written.
+    - [GET /jobs/:id/spans] — the job's span tree
+      ({!Bfdn_obs.Span.tree_json}), live (open spans carry their
+      duration so far).
     - [GET /jobs/:id/stream] — chunked JSONL: one trace frame per
       executed round, live, then a final status line.
     - [GET /metrics] — merged obs registries (HTTP counters, per-job
-      simulation metrics, pool latency histograms) plus cache and
-      admission statistics.
+      simulation metrics, GC pauses, pool latency histograms) plus
+      cache and admission statistics; [?format=prometheus] renders the
+      same data in text exposition format 0.0.4
+      ({!Bfdn_obs.Prometheus.render}) with the service statistics
+      folded in as [result_cache_*] / [admission_*] / [pool_workers].
     - [GET /registry] — {!Bfdn_scenario.Scenario.registry_json}.
     - [GET /healthz] — liveness and drain state. *)
 
@@ -33,12 +49,20 @@ type config = {
   queue_cap : int;  (** admission bound (queued + running jobs) *)
   cache_cap : int;  (** LRU entries; [0] disables caching *)
   timeout_s : float;  (** default per-job wall-clock timeout *)
-  log : string -> unit;  (** one line per lifecycle event *)
+  log : Bfdn_obs.Log.t;  (** structured lifecycle/request logging *)
+  trace : bool;  (** per-request span recorders (default [true]) *)
+  span_sink : (Bfdn_obs.Json.t -> unit) option;
+      (** receives every finished span as flat JSON (e.g.
+          {!Bfdn_obs.Sink.write_jsonl} to a span log file) *)
+  postmortem_dir : string option;
+      (** where failure bundles are written (created on demand);
+          [None] disables postmortems *)
 }
 
 val default_config : config
 (** [127.0.0.1:8080], recommended domain count, queue 64, cache 256,
-    60 s timeout, silent log. *)
+    60 s timeout, silent log, tracing on, no span sink, no postmortem
+    directory. *)
 
 type t
 

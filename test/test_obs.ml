@@ -373,6 +373,332 @@ let test_gc_probe_quiet_tick () =
   checkb "no pause without a cycle" true (after <= before + 1);
   Bfdn_obs.Gc_probe.dispose gp
 
+(* ---- spans ---- *)
+
+module Span = Bfdn_obs.Span
+module Log = Bfdn_obs.Log
+module Prometheus = Bfdn_obs.Prometheus
+module Tail = Bfdn_obs.Tail
+
+let test_span_tree () =
+  let emitted = ref [] in
+  let sp =
+    Span.create ~sink:(fun j -> emitted := j :: !emitted) ~trace_id:"t1" ()
+  in
+  checkb "enabled" true (Span.enabled sp);
+  checks "trace id" "t1" (Span.trace_id sp);
+  let root = Span.start sp "request" in
+  let child = Span.start ~parent:root sp "parse" in
+  Span.finish ~attrs:[ ("ok", Span.Bool true) ] sp child;
+  let open_child = Span.start ~parent:root sp "queue" in
+  checki "spans retained" 3 (Span.length sp);
+  checki "nothing dropped" 0 (Span.dropped sp);
+  (* One sink record per finished span, carrying trace/span/parent. *)
+  checki "one emission" 1 (List.length !emitted);
+  (match !emitted with
+  | [ j ] ->
+      checkb "sink record" true
+        (Json.member "trace" j = Some (Json.String "t1")
+        && Json.member "name" j = Some (Json.String "parse")
+        && Json.member "parent" j = Some (Json.Int root));
+  | _ -> Alcotest.fail "expected one sink record");
+  (* The tree nests parse and queue under request; queue is open. *)
+  (match Json.member "spans" (Span.tree_json sp) with
+  | Some (Json.List [ r ]) -> (
+      checkb "root name" true
+        (Json.member "name" r = Some (Json.String "request"));
+      match Json.member "children" r with
+      | Some (Json.List [ c1; c2 ]) ->
+          checkb "first child is parse" true
+            (Json.member "name" c1 = Some (Json.String "parse"));
+          checkb "open child marked" true
+            (Json.member "open" c2 = Some (Json.Bool true))
+      | _ -> Alcotest.fail "expected two children")
+  | _ -> Alcotest.fail "expected one root span");
+  Span.finish sp open_child;
+  Span.finish sp root;
+  checki "all emitted" 3 (List.length !emitted)
+
+let test_span_accumulation () =
+  let sp = Span.create ~trace_id:"t" () in
+  let s = Span.start sp "phase" in
+  Span.add_ns sp s 10;
+  Span.add_ns sp s 32;
+  Span.finish sp s;
+  match Json.member "spans" (Span.tree_json sp) with
+  | Some (Json.List [ j ]) ->
+      checkb "accumulated duration, not wall" true
+        (Json.member "dur_ns" j = Some (Json.Int 42))
+  | _ -> Alcotest.fail "expected one span"
+
+let test_span_disabled_noop () =
+  let sp = Span.disabled in
+  checkb "disabled" false (Span.enabled sp);
+  let s = Span.start sp "x" in
+  checkb "start returns none" true (s = Span.none);
+  Span.add_ns sp s 5;
+  Span.finish sp s;
+  checki "nothing recorded" 0 (Span.length sp);
+  (* phase_probe on a disabled recorder returns the probe untouched. *)
+  let p = Probe.of_metrics (Metrics.create ()) in
+  let p', close = Span.phase_probe sp ~parent:Span.none p in
+  checkb "probe physically unchanged" true (p' == p);
+  close ()
+
+let test_span_capacity () =
+  let sp = Span.create ~capacity:2 ~trace_id:"t" () in
+  let a = Span.start sp "a" in
+  let b = Span.start sp "b" in
+  let c = Span.start sp "c" in
+  checkb "over-capacity start returns none" true (c = Span.none);
+  checki "retained" 2 (Span.length sp);
+  checki "dropped counted" 1 (Span.dropped sp);
+  Span.finish sp a;
+  Span.finish sp b;
+  Span.finish sp c;
+  match Json.member "dropped" (Span.tree_json sp) with
+  | Some (Json.Int 1) -> ()
+  | _ -> Alcotest.fail "tree_json must report dropped"
+
+let test_span_phase_probe_sums () =
+  (* The three accumulated phase spans must sum exactly to the phase
+     counters the metrics probe records from the same clock reads. *)
+  let reg = Metrics.create () in
+  let sp = Span.create ~trace_id:"t" () in
+  let parent = Span.start sp "execute" in
+  let probe, close = Span.phase_probe sp ~parent (Probe.of_metrics reg) in
+  let env = Env.create ~probe (small ()) ~k:2 in
+  let r =
+    Runner.run ~probe (Bfdn.Bfdn_algo.algo (Bfdn.Bfdn_algo.make ~probe env)) env
+  in
+  close ();
+  Span.finish sp parent;
+  checkb "explored" true r.Runner.explored;
+  let cval name = Metrics.value (Option.get (Metrics.find_counter reg name)) in
+  let expect =
+    cval "select_ns" + cval "apply_ns" + cval "finished_check_ns"
+  in
+  let spans =
+    match Json.member "spans" (Span.tree_json sp) with
+    | Some (Json.List [ root ]) -> (
+        match Json.member "children" root with
+        | Some (Json.List l) -> l
+        | _ -> [])
+    | _ -> []
+  in
+  checki "three phase spans" 3 (List.length spans);
+  let total =
+    List.fold_left
+      (fun acc j ->
+        match Json.member "dur_ns" j with Some (Json.Int d) -> acc + d | _ -> acc)
+      0 spans
+  in
+  checki "phase spans sum to counter total" expect total
+
+(* ---- log ---- *)
+
+let test_log_levels () =
+  let lines = ref [] in
+  let log = Log.create ~level:Log.Warn (fun j -> lines := j :: !lines) in
+  Log.debug log "nope";
+  Log.info log "nope";
+  Log.warn log ~trace:"t9" ~attrs:[ ("k", Span.Int 7) ] "kept";
+  Log.error log "kept too";
+  checki "level gating" 2 (List.length !lines);
+  (match List.rev !lines with
+  | [ w; _ ] ->
+      checkb "warn line shape" true
+        (Json.member "level" w = Some (Json.String "warn")
+        && Json.member "msg" w = Some (Json.String "kept")
+        && Json.member "trace" w = Some (Json.String "t9")
+        && Json.member "k" w = Some (Json.Int 7)
+        && Json.member "ts" w <> None)
+  | _ -> Alcotest.fail "expected two lines");
+  Log.set_level log Log.Debug;
+  Log.debug log "now kept";
+  checki "set_level" 3 (List.length !lines);
+  checkb "enabled reflects level" true
+    (Log.enabled log Log.Debug && not (Log.enabled Log.ignore_log Log.Error));
+  checkb "level names round-trip" true
+    (List.for_all
+       (fun l -> Log.level_of_name (Log.level_name l) = Some l)
+       [ Log.Debug; Log.Info; Log.Warn; Log.Error ]
+    && Log.level_of_name "WARNING" = Some Log.Warn
+    && Log.level_of_name "bogus" = None)
+
+(* ---- quantiles ---- *)
+
+let test_quantiles () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram ~bounds:[| 1.0; 2.0; 4.0 |] m "h" in
+  checkf "empty histogram" 0.0 (Metrics.quantile h 0.5);
+  (* 100 samples uniform over (0, 4]: quartile boundaries land on the
+     bucket bounds, interpolation inside. *)
+  for i = 1 to 100 do
+    Metrics.observe h (float_of_int i /. 25.0)
+  done;
+  let q50 = Metrics.quantile h 0.5 and q90 = Metrics.quantile h 0.9 in
+  let q99 = Metrics.quantile h 0.99 in
+  checkb "p50 in containing bucket" true (q50 >= 1.0 && q50 <= 2.0);
+  checkb "p90 in containing bucket" true (q90 >= 2.0 && q90 <= 4.0);
+  checkb "monotonic" true (q50 <= q90 && q90 <= q99);
+  checkb "p99 clamped by observed max" true (q99 <= 4.0);
+  (* Single-sample histogram: every quantile is that sample. *)
+  let h1 = Metrics.histogram ~bounds:[| 10.0 |] m "h1" in
+  Metrics.observe h1 3.0;
+  checkf "p50 of singleton" 3.0 (Metrics.quantile h1 0.5);
+  checkf "p99 of singleton" 3.0 (Metrics.quantile h1 0.99);
+  (* to_json carries the estimates. *)
+  match Json.member "h" (Metrics.to_json m) with
+  | Some hj ->
+      checkb "json members" true
+        (Json.member "p50" hj <> None && Json.member "p90" hj <> None
+        && Json.member "p99" hj <> None)
+  | None -> Alcotest.fail "histogram missing from to_json"
+
+(* ---- prometheus ---- *)
+
+let test_prometheus_render_valid () =
+  let m = Metrics.create () in
+  Metrics.add (Metrics.counter m "rounds") 7;
+  Metrics.set (Metrics.gauge m "heap_words") 1234.5;
+  let h = Metrics.histogram ~bounds:[| 1.0; 2.0 |] m "lat" in
+  List.iter (Metrics.observe h) [ 0.5; 1.5; 9.0 ];
+  let body = Prometheus.render m in
+  (match Prometheus.validate body with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "render does not validate: %s" e);
+  let contains sub =
+    let n = String.length body and k = String.length sub in
+    let rec go i = i + k <= n && (String.sub body i k = sub || go (i + 1)) in
+    go 0
+  in
+  checkb "namespaced counter" true (contains "bfdn_rounds 7");
+  checkb "type lines" true (contains "# TYPE bfdn_lat histogram");
+  checkb "inf bucket" true (contains "bfdn_lat_bucket{le=\"+Inf\"} 3");
+  checkb "cumulative bucket" true (contains "bfdn_lat_bucket{le=\"2.0\"} 2");
+  checkb "count" true (contains "bfdn_lat_count 3");
+  checkb "quantile gauges" true (contains "bfdn_lat_p99")
+
+let test_prometheus_validator_rejects () =
+  let bad =
+    [
+      ("bad name", "9bad_name 1\n");
+      ("bad type kind", "# TYPE x weird\nx 1\n");
+      ("duplicate type", "# TYPE x counter\n# TYPE x counter\nx 1\n");
+      ( "interleaved families",
+        "# TYPE a counter\na 1\n# TYPE b counter\nb 1\na 2\n" );
+      ( "non-cumulative histogram",
+        "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n\
+         h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n" );
+      ( "missing inf bucket",
+        "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n" );
+      ( "count disagrees",
+        "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n" );
+      ("unquoted label", "x{l=v} 1\n");
+      ("not a number", "x hello\n");
+    ]
+  in
+  List.iter
+    (fun (what, doc) ->
+      checkb (what ^ " rejected") true
+        (Result.is_error (Prometheus.validate doc)))
+    bad;
+  (* And a sane hand-written document passes, including escapes. *)
+  match
+    Prometheus.validate
+      "# HELP x a comment\n# TYPE x counter\nx{l=\"a\\\"b\\\\c\\nd\"} 1 \
+       1234567\n"
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid document rejected: %s" e
+
+(* ---- tail rendering ---- *)
+
+let test_tail_renders () =
+  let span =
+    Json.Obj
+      [
+        ("trace", Json.String "t1"); ("span", Json.Int 0); ("parent", Json.Null);
+        ("name", Json.String "request"); ("start_ns", Json.Int 0);
+        ("dur_ns", Json.Int 1000);
+      ]
+  in
+  let child =
+    Json.Obj
+      [
+        ("trace", Json.String "t1"); ("span", Json.Int 1);
+        ("parent", Json.Int 0); ("name", Json.String "parse");
+        ("start_ns", Json.Int 100); ("dur_ns", Json.Int 200);
+      ]
+  in
+  let log_line =
+    Json.Obj
+      [
+        ("ts", Json.Float 1.5); ("level", Json.String "warn");
+        ("msg", Json.String "hello"); ("trace", Json.String "t1");
+      ]
+  in
+  let frame =
+    Json.Obj [ ("round", Json.Int 3); ("explored", Json.Int 17) ]
+  in
+  checkb "kinds" true
+    (Tail.kind_of span = Tail.Span
+    && Tail.kind_of log_line = Tail.Log
+    && Tail.kind_of frame = Tail.Frame
+    && Tail.kind_of (Json.Int 3) = Tail.Other);
+  let has sub s =
+    let n = String.length s and k = String.length sub in
+    let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+    go 0
+  in
+  checkb "span line" true (has "request" (Tail.render_line span));
+  checkb "log line" true
+    (has "WARN" (Tail.render_line log_line)
+    && has "hello" (Tail.render_line log_line));
+  checkb "frame line" true (has "round" (Tail.render_line frame));
+  let tl = Tail.span_timeline [ span; child ] in
+  checkb "timeline has both spans" true (has "request" tl && has "parse" tl);
+  checks "empty timeline" "" (Tail.span_timeline [])
+
+(* ---- GC probe alarm lifecycle + exposition ---- *)
+
+let test_gc_probe_alarm_lifecycle () =
+  let reg = Metrics.create () in
+  let gp = Bfdn_obs.Gc_probe.create reg in
+  checkb "alarm active after create" true (Bfdn_obs.Gc_probe.alarm_active gp);
+  (* Pause histogram is monotone under forced cycles: counts only grow. *)
+  let pauses () =
+    match Metrics.find_histogram reg "gc_pause_ns" with
+    | Some h -> Metrics.hist_count h
+    | None -> 0
+  in
+  Bfdn_obs.Gc_probe.tick gp;
+  Gc.full_major ();
+  Bfdn_obs.Gc_probe.tick gp;
+  let c1 = pauses () in
+  Gc.full_major ();
+  Bfdn_obs.Gc_probe.tick gp;
+  let c2 = pauses () in
+  checkb "histogram monotone" true (c1 >= 1 && c2 >= c1);
+  (* The GC registry renders to valid exposition with the gauges. *)
+  Bfdn_obs.Gc_probe.snapshot gp;
+  let body = Prometheus.render reg in
+  (match Prometheus.validate body with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "gc registry does not validate: %s" e);
+  let has sub =
+    let n = String.length body and k = String.length sub in
+    let rec go i = i + k <= n && (String.sub body i k = sub || go (i + 1)) in
+    go 0
+  in
+  checkb "pause histogram exposed" true (has "bfdn_gc_pause_ns_bucket");
+  checkb "snapshot gauges exposed" true (has "bfdn_gc_heap_words");
+  Bfdn_obs.Gc_probe.dispose gp;
+  checkb "alarm removed by dispose" false (Bfdn_obs.Gc_probe.alarm_active gp);
+  Bfdn_obs.Gc_probe.dispose gp;
+  checkb "dispose idempotent" false (Bfdn_obs.Gc_probe.alarm_active gp)
+
 let suite =
   let tc name f = Alcotest.test_case name `Quick f in
   ( "obs",
@@ -396,4 +722,15 @@ let suite =
       tc "dashboard renders" test_dashboard_renders;
       tc "gc probe records pauses" test_gc_probe_records;
       tc "gc probe quiet tick" test_gc_probe_quiet_tick;
+      tc "span tree" test_span_tree;
+      tc "span accumulation" test_span_accumulation;
+      tc "span disabled no-op" test_span_disabled_noop;
+      tc "span capacity and dropped" test_span_capacity;
+      tc "span phase probe sums" test_span_phase_probe_sums;
+      tc "log levels and shape" test_log_levels;
+      tc "histogram quantiles" test_quantiles;
+      tc "prometheus render validates" test_prometheus_render_valid;
+      tc "prometheus validator rejects" test_prometheus_validator_rejects;
+      tc "tail renders" test_tail_renders;
+      tc "gc probe alarm lifecycle" test_gc_probe_alarm_lifecycle;
     ] )

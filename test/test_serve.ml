@@ -249,7 +249,7 @@ let test_admission_bound_and_drain () =
 (* ---- end-to-end over real sockets ---- *)
 
 let with_server ?(workers = 2) ?(queue_cap = 64) ?(cache_cap = 256)
-    ?(timeout_s = 60.) f =
+    ?(timeout_s = 60.) ?postmortem_dir f =
   let config =
     {
       Server.default_config with
@@ -258,6 +258,7 @@ let with_server ?(workers = 2) ?(queue_cap = 64) ?(cache_cap = 256)
       queue_cap;
       cache_cap;
       timeout_s;
+      postmortem_dir;
     }
   in
   let srv = Server.create config in
@@ -462,6 +463,266 @@ let test_e2e_registry_and_metrics () =
           checkb "has metrics and cache sections" true
             (Json.member "metrics" j <> None && Json.member "cache" j <> None))
 
+(* ---- spans, prometheus exposition, postmortems ---- *)
+
+module Prometheus = Bfdn_obs.Prometheus
+
+let contains body sub =
+  let n = String.length body and k = String.length sub in
+  let rec go i = i + k <= n && (String.sub body i k = sub || go (i + 1)) in
+  go 0
+
+(* Poll the status endpoint until the job settles (the async path). *)
+let await_done port id =
+  let rec go tries =
+    if tries = 0 then Alcotest.fail "job did not settle in time";
+    let st = get port (Printf.sprintf "/jobs/%d" id) in
+    match member_string "status" st.Client.body with
+    | Some ("done" | "failed" | "timeout" | "cancelled") -> st
+    | _ ->
+        Unix.sleepf 0.01;
+        go (tries - 1)
+  in
+  go 1000
+
+let test_e2e_span_tree () =
+  (* A deep comb at small k: thousands of rounds, so the runner loop
+     dominates the execute span and the phase-sum criterion is sharp. *)
+  let spec =
+    Scenario.make ~k:4 ~seed:9
+      (Scenario.generated ~family:"comb" ~n:4000 ~depth_hint:60)
+  in
+  with_server ~workers:1 ~cache_cap:0 (fun port ->
+      let ticket = post_run ~query:"?wait=0" port (Scenario.to_string spec) in
+      checki "async submit accepted" 202 ticket.Client.status;
+      let trace =
+        match member_string "trace" ticket.Client.body with
+        | Some t -> t
+        | None -> Alcotest.fail "ticket carries no trace id"
+      in
+      checkb "trace id non-empty" true (String.length trace > 0);
+      let id =
+        match Json.of_string ticket.Client.body with
+        | Ok j -> (
+            match Json.member "id" j with
+            | Some (Json.Int id) -> id
+            | _ -> Alcotest.fail "no id in ticket")
+        | Error e -> Alcotest.fail e
+      in
+      ignore (await_done port id);
+      let resp = get port (Printf.sprintf "/jobs/%d/spans" id) in
+      checki "spans endpoint" 200 resp.Client.status;
+      let tree =
+        match Json.of_string resp.Client.body with
+        | Ok j -> j
+        | Error e -> Alcotest.fail e
+      in
+      checkb "tree carries the ticket's trace id" true
+        (Json.member "trace" tree = Some (Json.String trace));
+      let name_of j =
+        match Json.member "name" j with Some (Json.String s) -> s | _ -> ""
+      in
+      let children j =
+        match Json.member "children" j with Some (Json.List l) -> l | _ -> []
+      in
+      let dur j =
+        match Json.member "dur_ns" j with Some (Json.Int d) -> d | _ -> 0
+      in
+      let roots =
+        match Json.member "spans" tree with Some (Json.List l) -> l | _ -> []
+      in
+      checki "one root span" 1 (List.length roots);
+      let root = List.hd roots in
+      checks "root is the request" "request" (name_of root);
+      let kid name = List.find_opt (fun c -> name_of c = name) (children root) in
+      checkb "edge spans present" true
+        (kid "parse" <> None && kid "cache_lookup" <> None
+        && kid "admission" <> None && kid "queue" <> None);
+      let exe =
+        match kid "execute" with
+        | Some e -> e
+        | None -> Alcotest.fail "no execute span"
+      in
+      let phase_names =
+        [ "phase:select"; "phase:apply"; "phase:finished_check" ]
+      in
+      let phases =
+        List.filter (fun c -> List.mem (name_of c) phase_names) (children exe)
+      in
+      checki "three phase spans" 3 (List.length phases);
+      let run =
+        match
+          List.find_opt (fun c -> name_of c = "run") (children exe)
+        with
+        | Some r -> r
+        | None -> Alcotest.fail "no run span under execute"
+      in
+      (* The three accumulated phases cover the whole runner loop: their
+         sum must land within 5% of the run span's wall time (the
+         execute span additionally carries world/env/algorithm setup). *)
+      let phase_sum = List.fold_left (fun a p -> a + dur p) 0 phases in
+      let run_wall = dur run in
+      checkb "phases closed" true
+        (List.for_all (fun p -> Json.member "open" p = None) phases);
+      checkb
+        (Printf.sprintf "phase sum %d within 5%% of run wall %d" phase_sum
+           run_wall)
+        true
+        (run_wall > 0
+        && Float.abs (float_of_int (phase_sum - run_wall))
+           <= 0.05 *. float_of_int run_wall);
+      checkb "execute wall covers the loop" true (dur exe >= run_wall))
+
+let test_e2e_prometheus_metrics () =
+  with_server (fun port ->
+      ignore (post_run port (Scenario.to_string spec_small));
+      let m = get port "/metrics?format=prometheus" in
+      checki "prometheus format ok" 200 m.Client.status;
+      (match Client.response_header "Content-Type" m with
+      | Some ct -> checks "exposition content type" Prometheus.content_type ct
+      | None -> Alcotest.fail "no content type");
+      let body = m.Client.body in
+      (match Prometheus.validate body with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "exposition does not validate: %s" e);
+      checkb "request latency histogram" true
+        (contains body "# TYPE bfdn_request_s histogram"
+        && contains body "bfdn_request_s_bucket{le=\"+Inf\"}");
+      checkb "quantile estimate gauges" true (contains body "bfdn_request_s_p99");
+      checkb "simulation counters merged" true (contains body "bfdn_rounds");
+      checkb "gc registry merged" true (contains body "bfdn_gc_");
+      checkb "service stats folded in" true
+        (contains body "bfdn_result_cache_hits"
+        && contains body "bfdn_admission_inflight"
+        && contains body "bfdn_pool_workers"))
+
+let pm_seq = ref 0
+
+let with_postmortem_dir f =
+  incr pm_seq;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bfdn-pm-%d-%d" (Unix.getpid ()) !pm_seq)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Unix.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_e2e_timeout_postmortem () =
+  with_postmortem_dir (fun dir ->
+      with_server ~workers:1 ~cache_cap:0 ~postmortem_dir:dir (fun port ->
+          let big =
+            Scenario.make ~k:4 ~seed:5
+              (Scenario.generated ~family:"random" ~n:50000 ~depth_hint:60)
+          in
+          let resp =
+            post_run ~query:"?timeout_s=0.005" port (Scenario.to_string big)
+          in
+          checki "timed-out job is 504" 504 resp.Client.status;
+          let path =
+            match member_string "postmortem" resp.Client.body with
+            | Some p -> p
+            | None -> Alcotest.fail "504 body lacks a postmortem link"
+          in
+          checkb "bundle exists by response time" true (Sys.file_exists path);
+          let bundle =
+            let ic = open_in_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          (match Json.of_string bundle with
+          | Error e -> Alcotest.fail e
+          | Ok j ->
+              checkb "reason is timeout" true
+                (Json.member "reason" j = Some (Json.String "timeout"));
+              checkb "spec embedded and re-parseable" true
+                (match Json.member "spec" j with
+                | Some spec_j -> (
+                    match Scenario.of_json spec_j with
+                    | Ok round_tripped ->
+                        Scenario.fingerprint round_tripped
+                        = Scenario.fingerprint big
+                    | Error _ -> false)
+                | None -> false);
+              checkb "fingerprint recorded" true
+                (Json.member "fingerprint" j
+                = Some (Json.String (Scenario.fingerprint big)));
+              checkb "seed recorded" true
+                (Json.member "seed" j = Some (Json.Int 5));
+              checkb "metrics snapshot present" true
+                (match Json.member "metrics" j with
+                | Some (Json.Obj _) -> true
+                | _ -> false);
+              checkb "trace frames present" true
+                (match Json.member "frames" j with
+                | Some (Json.List l) -> List.length l > 0
+                | _ -> false);
+              checkb "span tree present" true
+                (match Json.member "spans" j with
+                | Some (Json.Obj _) -> true
+                | _ -> false));
+          (* the job status endpoint links the bundle too *)
+          let id =
+            match Json.of_string resp.Client.body with
+            | Ok j -> (
+                match Json.member "id" j with
+                | Some (Json.Int id) -> id
+                | _ -> Alcotest.fail "no id in 504 body")
+            | Error e -> Alcotest.fail e
+          in
+          let st = get port (Printf.sprintf "/jobs/%d" id) in
+          checkb "status links postmortem" true
+            (member_string "postmortem" st.Client.body = Some path)))
+
+let test_e2e_tracing_disabled () =
+  (* trace = false: requests still work, the spans endpoint degrades to
+     an empty tree rather than an error. *)
+  let config =
+    {
+      Server.default_config with
+      Server.port = 0;
+      workers = 1;
+      cache_cap = 0;
+      trace = false;
+    }
+  in
+  let srv = Server.create config in
+  let th = Thread.create Server.run srv in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Thread.join th)
+    (fun () ->
+      let port = Server.port srv in
+      let ticket =
+        post_run ~query:"?wait=0" port (Scenario.to_string spec_small)
+      in
+      checki "async submit accepted" 202 ticket.Client.status;
+      let id =
+        match Json.of_string ticket.Client.body with
+        | Ok j -> (
+            match Json.member "id" j with
+            | Some (Json.Int id) -> id
+            | _ -> Alcotest.fail "no id in ticket")
+        | Error e -> Alcotest.fail e
+      in
+      ignore (await_done port id);
+      let resp = get port (Printf.sprintf "/jobs/%d/spans" id) in
+      checki "spans endpoint still answers" 200 resp.Client.status;
+      match Json.of_string resp.Client.body with
+      | Ok j ->
+          checkb "empty span tree" true
+            (Json.member "spans" j = Some (Json.List []))
+      | Error e -> Alcotest.fail e)
+
 let suite =
   ( "serve",
     [
@@ -495,4 +756,12 @@ let suite =
         test_e2e_stream_and_status;
       Alcotest.test_case "e2e registry and metrics endpoints" `Quick
         test_e2e_registry_and_metrics;
+      Alcotest.test_case "e2e span tree and phase sums" `Quick
+        test_e2e_span_tree;
+      Alcotest.test_case "e2e prometheus exposition" `Quick
+        test_e2e_prometheus_metrics;
+      Alcotest.test_case "e2e timeout writes a postmortem" `Quick
+        test_e2e_timeout_postmortem;
+      Alcotest.test_case "e2e tracing disabled degrades cleanly" `Quick
+        test_e2e_tracing_disabled;
     ] )
