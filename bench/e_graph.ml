@@ -1,0 +1,382 @@
+(* E21 — graph worlds through the unified executor: every row here runs
+   `Scenario.run` on a version-2 spec (grid / random-graph / layered +
+   bfdn-graph), the exact path the CLI, the engine and the server
+   execute, so the Proposition 9 claim is quantified on the shipping
+   dispatch rather than a hand-wired loop (that loop is E7's job).
+
+   Two claims go into BENCH_graph.json:
+
+   1. Proposition 9: rounds <= 2n/k + D^2(min(log Δ, log k)+3) with
+      n = #edges and D = the origin's eccentricity, on warehouse grids
+      and general connected graphs, across k.
+
+   2. Fault tolerance on graphs: under seeded crash/restart schedules
+      (the E17 machinery, threaded through Graph_env) the run still
+      covers the graph and parks the fleet at the origin — restarts
+      teleport to the origin, where graph-BFDN re-anchors and discards
+      stale route state. Permanent-crash legs (restart = -1) are capped:
+      survivors still cover, but a robot that dies away from the origin
+      never comes home, so without a cap the run spins to the default
+      graph round limit; those rows honestly report home=NO and
+      hit_round_limit=true.
+
+   The per-row wall clock doubles as the perf-gate baseline: CI
+   re-measures the gate subset and fails below [gate_floor] of the
+   committed rounds/s. *)
+
+open Bench_common
+module World_registry = Bfdn_scenario.World_registry
+
+let report_path = "BENCH_graph.json"
+
+(* (world, params, label) legs; params are version-2 spec bindings. *)
+let worlds =
+  [
+    ( "grid",
+      [
+        ("height", Param.Int 14); ("obstacles", Param.Int 10);
+        ("width", Param.Int 24);
+      ],
+      "grid 24x14" );
+    ( "grid",
+      [
+        ("height", Param.Int 30); ("obstacles", Param.Int 24);
+        ("width", Param.Int 40);
+      ],
+      "grid 40x30" );
+    ("random-graph", [ ("extra_edges", Param.Int 150); ("n", Param.Int 500) ],
+      "random-graph 500");
+    ("layered", [ ("chords", Param.Int 40); ("layers", Param.Int 14);
+        ("width", Param.Int 9) ], "layered 14x9");
+  ]
+
+let ks = [ 1; 8; 64 ]
+
+let spec ?(faults = []) ?max_rounds ~world ~params ~k () =
+  Scenario.make ~algo:"bfdn-graph" ~k ~seed ?max_rounds ~faults
+    (Scenario.world ~params world)
+
+(* The spec carries node statistics in its outcome (n = nodes, depth =
+   radius); Proposition 9 counts edges, so re-derive the instance from
+   the root seed exactly as Scenario.run does (instance stream = split
+   index 0) for the edge count. *)
+let n_edges_of ~world ~params =
+  let g, _ =
+    World_registry.build_graph
+      ~rng:(Rng.split (Rng.create seed) 0)
+      ~params world
+  in
+  Bfdn_graphs.Graph.num_edges g
+
+type row = {
+  r_label : string;
+  r_world : string;
+  r_k : int;
+  r_edges : int;
+  r_radius : int;
+  r_rounds : int;
+  r_explored : bool;
+  r_at_origin : bool;
+  r_bound : float;
+  r_wall : float;
+}
+
+let run_row ~world ~params ~label k =
+  let sp = spec ~world ~params ~k () in
+  let t0 = Batch.now () in
+  let o = Scenario.run sp in
+  let wall = Batch.now () -. t0 in
+  let n_edges = n_edges_of ~world ~params in
+  let bound =
+    Bfdn.Bounds.bfdn_graph ~n_edges ~k ~d:o.Scenario.depth
+      ~delta:o.Scenario.max_degree
+  in
+  {
+    r_label = label;
+    r_world = world;
+    r_k = k;
+    r_edges = n_edges;
+    r_radius = o.Scenario.depth;
+    r_rounds = o.Scenario.result.Runner.rounds;
+    r_explored = o.Scenario.result.Runner.explored;
+    r_at_origin = o.Scenario.result.Runner.at_root;
+    r_bound = bound;
+    r_wall = wall;
+  }
+
+(* ---- fault legs: crash/restart schedules on the larger grid ---- *)
+
+(* (rate, restart, cap): permanent-crash legs carry an explicit round
+   cap — coverage freezes within a few thousand rounds (the survivors
+   are done), but the fleet can never terminate, so an uncapped run
+   would spin to the ~6|E|(D+2) default limit at bench-hostile cost. *)
+let fault_legs =
+  [ (0.1, -1, Some 2500); (0.3, -1, Some 2500); (0.3, 20, None) ]
+
+let fault_world, fault_params, _ = List.nth worlds 1
+
+type fault_row = {
+  f_rate : float;
+  f_restart : int;
+  f_k : int;
+  f_rounds : int;
+  f_explored : bool;
+  f_at_origin : bool;
+  f_crashes : int;
+  f_restarts : int;
+  f_capped : bool;
+}
+
+let run_fault_leg ~k (rate, restart, cap) =
+  let faults =
+    [
+      ("rate", Param.Float rate); ("restart", Param.Int restart);
+      ("window", Param.Int 40);
+    ]
+  in
+  let sp =
+    spec ~faults ?max_rounds:cap ~world:fault_world ~params:fault_params ~k ()
+  in
+  let o = Scenario.run sp in
+  (* Schedule-side statistics, re-derived exactly as Scenario.run did
+     (fault stream = split index 2 of the root seed). *)
+  let plan =
+    Bfdn_scenario.Fault_spec.plan
+      ~rng:(Rng.split (Rng.create seed) 2)
+      ~k sp.Scenario.faults
+  in
+  let crashes, restarts =
+    match plan with
+    | None -> (0, 0)
+    | Some p ->
+        Bfdn_faults.Fault_plan.stats p ~rounds:o.Scenario.result.Runner.rounds
+  in
+  {
+    f_rate = rate;
+    f_restart = restart;
+    f_k = k;
+    f_rounds = o.Scenario.result.Runner.rounds;
+    f_explored = o.Scenario.result.Runner.explored;
+    f_at_origin = o.Scenario.result.Runner.at_root;
+    f_crashes = crashes;
+    f_restarts = restarts;
+    f_capped = o.Scenario.result.Runner.hit_round_limit;
+  }
+
+let json_of_row r =
+  Engine_report.Obj
+    [
+      ("label", Engine_report.String r.r_label);
+      ("world", Engine_report.String r.r_world);
+      ("k", Engine_report.Int r.r_k);
+      ("edges", Engine_report.Int r.r_edges);
+      ("radius", Engine_report.Int r.r_radius);
+      ("rounds", Engine_report.Int r.r_rounds);
+      ("explored", Engine_report.Bool r.r_explored);
+      ("at_origin", Engine_report.Bool r.r_at_origin);
+      ("bound", Engine_report.Float r.r_bound);
+      ("wall_seconds", Engine_report.Float r.r_wall);
+    ]
+
+let json_of_fault_row f =
+  Engine_report.Obj
+    [
+      ("rate", Engine_report.Float f.f_rate);
+      ("restart", Engine_report.Int f.f_restart);
+      ("k", Engine_report.Int f.f_k);
+      ("rounds", Engine_report.Int f.f_rounds);
+      ("explored", Engine_report.Bool f.f_explored);
+      ("at_origin", Engine_report.Bool f.f_at_origin);
+      ("crashes", Engine_report.Int f.f_crashes);
+      ("restarts", Engine_report.Int f.f_restarts);
+      ("hit_round_limit", Engine_report.Bool f.f_capped);
+    ]
+
+let scale_name () =
+  match !scale with Quick -> "quick" | Normal -> "normal" | Full -> "full"
+
+let run () =
+  header "E21 (graph worlds)"
+    "Proposition 9 + fault schedules through the unified Scenario executor";
+  let rows =
+    List.concat_map
+      (fun (world, params, label) ->
+        List.map (run_row ~world ~params ~label) ks)
+      worlds
+  in
+  let t =
+    Table.create
+      ~caption:
+        "every row is one Scenario.run of a version-2 spec; \
+         bound = 2n/k + D^2(min(log Δ, log k)+3), n = #edges, D = radius"
+      [
+        ("world", Table.Left); ("|E|", Table.Right); ("D", Table.Right);
+        ("k", Table.Right); ("rounds", Table.Right); ("bound", Table.Right);
+        ("rounds/bound", Table.Right); ("ok", Table.Left);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.r_label; Table.fint r.r_edges; Table.fint r.r_radius;
+          Table.fint r.r_k; Table.fint r.r_rounds;
+          Table.ffloat ~decimals:0 r.r_bound;
+          Table.fratio (float_of_int r.r_rounds /. r.r_bound);
+          Table.fbool
+            (r.r_explored && r.r_at_origin
+            && float_of_int r.r_rounds <= r.r_bound);
+        ])
+    rows;
+  Table.print t;
+  let frows = List.concat_map (fun k -> List.map (run_fault_leg ~k) fault_legs) [ 8; 64 ] in
+  let ft =
+    Table.create
+      ~caption:
+        (Printf.sprintf
+           "crash/restart schedules on the %s world (window=40): restarts \
+            teleport to the origin, graph-BFDN re-anchors and still covers; \
+            permanent crashes (restart=-) strand the dead robot, so those \
+            capped rows cover but cannot come home"
+           fault_world)
+      [
+        ("rate", Table.Right); ("restart", Table.Right); ("k", Table.Right);
+        ("crash/rst", Table.Right); ("rounds", Table.Right);
+        ("explored", Table.Left); ("home", Table.Left);
+      ]
+  in
+  List.iter
+    (fun f ->
+      Table.add_row ft
+        [
+          Printf.sprintf "%.1f" f.f_rate;
+          (if f.f_restart < 0 then "-" else string_of_int f.f_restart);
+          Table.fint f.f_k;
+          Printf.sprintf "%d/%d" f.f_crashes f.f_restarts;
+          Table.fint f.f_rounds;
+          (if f.f_explored then "yes" else "NO");
+          (if f.f_at_origin then "yes"
+           else if f.f_capped then "no (capped)"
+           else "NO");
+        ])
+    frows;
+  Table.print ft;
+  Engine_report.write ~path:report_path
+    (Engine_report.Obj
+       (Engine_report.meta ~seed ~workers:1
+       @ [
+           ("label", Engine_report.String "E21 graph worlds via Scenario.run");
+           ("scale", Engine_report.String (scale_name ()));
+           ("configs", Engine_report.List (List.map json_of_row rows));
+           ("fault_configs", Engine_report.List (List.map json_of_fault_row frows));
+         ]));
+  Printf.printf "report written to %s\n" report_path
+
+(* ---- perf gate ----
+
+   Re-measure the gate subset and compare rounds/s against the committed
+   report. The floor mirrors e_hotpath's: loose enough for machine-to-
+   machine variance, tight enough to catch an accidental de-optimization
+   of the graph apply path (e.g. the per-robot fault predicate growing
+   work, or the settle phase going quadratic). *)
+
+let gate_floor = 0.6
+
+let gate_subset = [ ("grid 40x30", 8); ("random-graph 500", 8) ]
+
+let committed_rps doc label k =
+  match Bfdn_obs.Json.member "configs" doc with
+  | Some (Engine_report.List rows) ->
+      List.find_map
+        (fun row ->
+          match
+            ( Bfdn_obs.Json.member "label" row,
+              Bfdn_obs.Json.member "k" row,
+              Bfdn_obs.Json.member "rounds" row,
+              Bfdn_obs.Json.member "wall_seconds" row )
+          with
+          | ( Some (Engine_report.String l),
+              Some (Engine_report.Int k'),
+              Some (Engine_report.Int rounds),
+              Some (Engine_report.Float wall) )
+            when l = label && k' = k ->
+              Some (float_of_int rounds /. Float.max 1e-9 wall)
+          | _ -> None)
+        rows
+  | _ -> failwith (report_path ^ ": no configs member")
+
+let perf_gate () =
+  scale := Normal;
+  header "PERF GATE (graph)"
+    (Printf.sprintf "measured rounds/s must stay >= %.2fx the committed %s"
+       gate_floor report_path);
+  let doc =
+    let raw = In_channel.with_open_text report_path In_channel.input_all in
+    match Bfdn_obs.Json.of_string raw with
+    | Ok j -> j
+    | Error msg -> failwith (report_path ^ ": " ^ msg)
+  in
+  let fails = ref 0 in
+  List.iter
+    (fun (label, k) ->
+      match committed_rps doc label k with
+      | None ->
+          Printf.printf "  %-18s k=%-3d no committed baseline, skipped\n" label
+            k
+      | Some base ->
+          let world, params, _ =
+            List.find (fun (_, _, l) -> l = label) worlds
+          in
+          (* Warm once, then take the best of 3: the gate asks "can this
+             machine still reach the committed rate", not "what is the
+             mean". *)
+          ignore (run_row ~world ~params ~label k);
+          let best = ref 0.0 in
+          for _ = 1 to 3 do
+            let r = run_row ~world ~params ~label k in
+            best :=
+              Float.max !best
+                (float_of_int r.r_rounds /. Float.max 1e-9 r.r_wall)
+          done;
+          let ratio = !best /. Float.max 1e-9 base in
+          let ok = ratio >= gate_floor in
+          if not ok then incr fails;
+          Printf.printf "  %-18s k=%-3d %s %11.0f r/s vs committed %11.0f (%.2fx)\n"
+            label k
+            (if ok then "ok  " else "FAIL")
+            !best base ratio)
+    gate_subset;
+  if !fails > 0 then begin
+    Printf.printf "graph perf gate: %d check(s) failed\n" !fails;
+    exit 1
+  end;
+  Printf.printf "graph perf gate: all %d configs within budget\n"
+    (List.length gate_subset)
+
+(* CI tripwire for --smoke: a tiny grid spec completes deterministically
+   through Scenario.run, and the same grid under a crash/restart
+   schedule still covers and comes home. *)
+let smoke () =
+  let params =
+    [ ("height", Param.Int 6); ("obstacles", Param.Int 2);
+      ("width", Param.Int 9) ]
+  in
+  let sp = spec ~world:"grid" ~params ~k:5 () in
+  let a = Scenario.run sp in
+  let b = Scenario.run sp in
+  let faulty =
+    Scenario.run
+      (spec
+         ~faults:
+           [
+             ("rate", Param.Float 0.2); ("restart", Param.Int 10);
+             ("window", Param.Int 20);
+           ]
+         ~world:"grid" ~params ~k:5 ())
+  in
+  a.Scenario.result.Runner.explored
+  && a.Scenario.result.Runner.at_root
+  && (not a.Scenario.result.Runner.hit_round_limit)
+  && Scenario.equal_outcome a b
+  && faulty.Scenario.result.Runner.explored
+  && faulty.Scenario.result.Runner.at_root

@@ -128,6 +128,7 @@ let checks : (string * (unit -> bool)) list =
         all_explored [ gen "random" "bfdn" 8 17; gen "random" "bfdn-wr" 8 17 ] );
     ("E16 hotpath", fun () -> E_hotpath.smoke ());
     ("E17 faults", fun () -> E_faults.smoke ());
+    ("E21 graph scenarios", fun () -> E_graph.smoke ());
     ( "E15 engine determinism",
       fun () ->
         let js = List.init 8 (fun i -> gen "random" "bfdn" 4 (100 + i)) in

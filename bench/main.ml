@@ -27,6 +27,7 @@ let experiments =
     ("E17", E_faults.run);
     ("E18", E_serve.run);
     ("E19", E_huge.run);
+    ("E21", E_graph.run);
     ("A1", E_ablation.run);
   ]
 
@@ -39,6 +40,7 @@ let perf_gates =
     (E_hotpath.report_path, E_hotpath.perf_gate);
     (E_serve.report_path, E_serve.perf_gate);
     (E_huge.report_path, E_huge.perf_gate);
+    (E_graph.report_path, E_graph.perf_gate);
   ]
 
 let () =

@@ -287,14 +287,15 @@ let run_cmd =
           match registry with Some m -> Probe.of_metrics m | None -> Probe.noop
         in
         let trace_oc = Option.map open_out trace in
-        let on_round env =
+        let on_round (exec : Bfdn_sim.Exec_env.t) =
           (match trace_oc with
           | Some oc ->
-              Sink.write_jsonl oc (Trace.json_of_frame (Trace.frame_of_env env))
+              Sink.write_jsonl oc
+                (Trace.json_of_frame (exec.Bfdn_sim.Exec_env.frame ()))
           | None -> ());
           if watch then begin
             print_newline ();
-            print_string (Trace.render_frame env)
+            print_string (exec.Bfdn_sim.Exec_env.render ())
           end
         in
         let outcome =
@@ -370,14 +371,15 @@ let plain_list () =
     print_endline "Algorithms:";
     List.iter
       (fun (e : Algo_registry.entry) ->
+        let c = Algo_registry.caps e in
         let caps =
           List.filter_map
             (fun (name, on) -> if on then Some name else None)
             [
-              ("tree", e.caps.tree);
-              ("adaptive", e.caps.adaptive);
-              ("graph", e.caps.graph);
-              ("async", e.caps.async);
+              ("tree", c.Algo_registry.tree);
+              ("adaptive", c.Algo_registry.adaptive);
+              ("graph", c.Algo_registry.graph);
+              ("async", c.Algo_registry.async);
             ]
         in
         let aliases =
@@ -396,6 +398,7 @@ let plain_list () =
           match e.kind with
           | World_registry.Tree _ -> "tree"
           | World_registry.Grid _ -> "grid"
+          | World_registry.Graph _ -> "graph"
         in
         Printf.printf "  %-14s [%s]\n      %s\n" e.name kind e.doc;
         schema_block e.params)
@@ -504,7 +507,7 @@ let sweep_cmd =
     List.iter
       (fun a ->
         match Algo_registry.find a with
-        | Some e when e.caps.tree && e.make <> None -> ()
+        | Some e when (Algo_registry.caps e).Algo_registry.tree -> ()
         | _ ->
             Printf.eprintf "warning: unknown algorithm %S (of: %s)\n" a
               (names Algo_registry.tree_names))

@@ -97,4 +97,16 @@ let decide t env i =
 
 let decide t = decide t
 
+let notify_restart t i =
+  (* The replacement robot materializes at the root: its route state died
+     with the crashed one. Dropping the stack means the next [decide]
+     lands in the [pos = root && stack = []] branch and reanchors. *)
+  let view = Aenv.view t.env in
+  let root = Partial_tree.root view in
+  let r = t.robots.(i) in
+  t.anchor_load.(r.anchor) <- t.anchor_load.(r.anchor) - 1;
+  r.anchor <- root;
+  t.anchor_load.(root) <- t.anchor_load.(root) + 1;
+  r.stack <- []
+
 let reanchors_total t = t.reanchors

@@ -18,4 +18,10 @@ val make : Bfdn_sim.Async_env.t -> t
 val decide : t -> Bfdn_sim.Async_env.decide
 (** To be passed to {!Bfdn_sim.Async_env.run}. *)
 
+val notify_restart : t -> Bfdn_sim.Async_env.robot -> unit
+(** Discard the robot's route state after a crash-with-restart teleport
+    to the root (to be passed as [on_restart] to
+    {!Bfdn_sim.Exec_env.of_async}): the stale stack described a walk
+    from the crash site, not from the root. *)
+
 val reanchors_total : t -> int

@@ -78,7 +78,14 @@ let select t =
   for i = 0 to k - 1 do
     let r = t.robots.(i) in
     let pos = Genv.position t.env i in
-    if Genv.needs_backtrack t.env i then moves.(i) <- Genv.Back
+    if not (Genv.allowed t.env i) then
+      (* Crashed robot: leave its route state untouched — popping the
+         stack for a robot the environment will pin in place would
+         desynchronize it from its route. A restarted robot reappears at
+         the origin, where the [pos = origin] branch below discards the
+         stale stack by reanchoring. *)
+      moves.(i) <- Genv.Stay
+    else if Genv.needs_backtrack t.env i then moves.(i) <- Genv.Back
     else begin
       if pos = origin then reanchor t i;
       match r.stack with
@@ -100,6 +107,42 @@ let select t =
   done;
   moves
 
+let finished t = Genv.fully_explored t.env && Genv.all_at_origin t.env
+
+let default_max_rounds env =
+  (6 * Genv.oracle_n_edges env * (Genv.oracle_radius env + 2)) + 100
+
+let exec_env t =
+  let env = t.env in
+  let pending = ref [||] in
+  {
+    Bfdn_sim.Exec_env.kind = "graph";
+    k = Genv.k env;
+    round = (fun () -> Genv.round env);
+    select = (fun () -> pending := select t);
+    apply = (fun () -> Genv.apply env !pending);
+    finished = (fun () -> finished t);
+    round_limit = (fun () -> default_max_rounds env);
+    explored = (fun () -> Genv.fully_explored env);
+    at_home = (fun () -> Genv.all_at_origin env);
+    moves_total = (fun () -> Genv.moves_total env);
+    edge_events = (fun () -> Genv.traversed_edges env);
+    positions = (fun () -> Genv.positions env);
+    frame =
+      (fun () ->
+        {
+          Bfdn_sim.Trace.round = Genv.round env;
+          positions = Genv.positions env;
+          explored = Genv.num_explored env;
+          dangling = Genv.unknown_ports_total env;
+        });
+    render =
+      (fun () ->
+        Printf.sprintf "round %d: explored %d/%d nodes, %d unknown ports\n"
+          (Genv.round env) (Genv.num_explored env) (Genv.oracle_n_nodes env)
+          (Genv.unknown_ports_total env));
+  }
+
 type result = {
   rounds : int;
   explored : bool;
@@ -109,26 +152,11 @@ type result = {
 }
 
 let run ?max_rounds t =
-  let limit =
-    match max_rounds with
-    | Some m -> m
-    | None -> (6 * Genv.oracle_n_edges t.env * (Genv.oracle_radius t.env + 2)) + 100
-  in
-  let finished () = Genv.fully_explored t.env && Genv.all_at_origin t.env in
-  let hit_limit = ref false in
-  let continue = ref true in
-  while !continue do
-    if finished () then continue := false
-    else if Genv.round t.env >= limit then begin
-      hit_limit := true;
-      continue := false
-    end
-    else Genv.apply t.env (select t)
-  done;
+  let r = Bfdn_sim.Exec_env.run ?max_rounds (exec_env t) in
   {
-    rounds = Genv.round t.env;
-    explored = Genv.fully_explored t.env;
-    at_origin = Genv.all_at_origin t.env;
+    rounds = r.Bfdn_sim.Runner.rounds;
+    explored = r.Bfdn_sim.Runner.explored;
+    at_origin = r.Bfdn_sim.Runner.at_root;
     closed_edges = Genv.closed_edges t.env;
-    hit_round_limit = !hit_limit;
+    hit_round_limit = r.Bfdn_sim.Runner.hit_round_limit;
   }

@@ -16,6 +16,16 @@ type t
 
 val make : Bfdn_graphs.Graph_env.t -> t
 
+val finished : t -> bool
+(** Fully explored and every robot back at the origin. *)
+
+val exec_env : t -> Bfdn_sim.Exec_env.t
+(** Package the algorithm and its graph environment as a generic
+    execution environment, so {!Bfdn_sim.Exec_env.run} (and through it
+    [Scenario.run]) drives graph exploration with the same round loop,
+    probes and fault plans as trees. The adapter lives here rather than
+    in [lib/sim] because [lib/sim] does not depend on [bfdn_graphs]. *)
+
 type result = {
   rounds : int;
   explored : bool;

@@ -1,3 +1,5 @@
+module Probe = Bfdn_obs.Probe
+
 type robot = int
 
 type move = Stay | Via_port of int | Back
@@ -27,10 +29,14 @@ type t = {
   mutable traversed : int;
   mutable unknown_total : int; (* unknown ports of explored nodes *)
   mutable num_explored : int;
+  mutable restarts : int;
   radius : int;
+  probe : Probe.t;
+  fault : Bfdn_sim.Env.fault_hook;
 }
 
-let create g ~origin ~k =
+let create ?(probe = Probe.noop) ?(fault = Bfdn_sim.Env.fault_noop) g ~origin
+    ~k =
   if k < 1 then invalid_arg "Graph_env.create: k must be >= 1";
   let n = Graph.n g in
   if origin < 0 || origin >= n then invalid_arg "Graph_env.create: bad origin";
@@ -56,7 +62,10 @@ let create g ~origin ~k =
       traversed = 0;
       unknown_total = 0;
       num_explored = 0;
+      restarts = 0;
       radius = Graph.eccentricity g origin;
+      probe;
+      fault;
     }
   in
   t.explored.(origin) <- true;
@@ -125,6 +134,12 @@ let open_nodes_at_min_dist t =
 
 let fully_explored t = t.unknown_total = 0
 let all_at_origin t = Array.for_all (fun p -> p = t.origin) t.positions
+let unknown_ports_total t = t.unknown_total
+let restarts t = t.restarts
+
+let allowed t i =
+  not (t.fault.Bfdn_sim.Env.fh_enabled
+      && t.fault.Bfdn_sim.Env.fh_down ~round:t.round ~robot:i)
 
 let moves_total t = t.moves_total
 let closed_edges t = t.closed
@@ -161,14 +176,21 @@ let explore_via_tree_edge t u p w q =
 
 let apply t moves =
   if Array.length moves <> t.k then invalid_arg "Graph_env.apply: wrong arity";
-  (* Phase 1: validate against the pre-round state and record intents. *)
+  (* Pre-round totals for the probe's per-round deltas. *)
+  let moves0 = t.moves_total in
+  let traversed0 = t.traversed in
+  let explored0 = t.num_explored in
+  (* Phase 1: validate against the pre-round state and record intents.
+     A crashed robot's selection is discarded (forced [Stay]) before
+     validation — mirrors the tree environment, where a down robot is
+     simply not {!allowed} to act this round. *)
   let discoveries = Hashtbl.create 16 in
   (* key: canonical edge; value: (u, p, w, q, robots from u side, robots
      from w side). *)
   let intents = Array.make t.k None in
   for i = 0 to t.k - 1 do
     let pos = t.positions.(i) in
-    match moves.(i) with
+    match (if allowed t i then moves.(i) else Stay) with
     | Stay -> ()
     | Back ->
         if t.backtrack.(i) < 0 then
@@ -239,7 +261,26 @@ let apply t moves =
         else explore_via_tree_edge t src sport dst dport
       end)
     pending;
-  t.round <- t.round + 1
+  (* Crash-with-restart: a replacement robot comes online at the origin
+     at the start of the next round. A teleport, not a traversal: move
+     and edge metrics stay untouched, and any pending backtrack dies
+     with the crashed robot. *)
+  let fault = t.fault in
+  if fault.Bfdn_sim.Env.fh_enabled && fault.Bfdn_sim.Env.fh_may_restart then
+    for i = 0 to t.k - 1 do
+      if fault.Bfdn_sim.Env.fh_restart ~round:t.round ~robot:i then begin
+        t.positions.(i) <- t.origin;
+        t.backtrack.(i) <- -1;
+        t.restarts <- t.restarts + 1
+      end
+    done;
+  t.round <- t.round + 1;
+  if t.probe.Probe.enabled then begin
+    let moved = t.moves_total - moves0 in
+    t.probe.Probe.on_round ~round:t.round ~moved ~idle:(t.k - moved)
+      ~revealed:(t.num_explored - explored0)
+      ~edge_events:(t.traversed - traversed0)
+  end
 
 let check_invariants t =
   let fail msg = invalid_arg ("Graph_env.check_invariants: " ^ msg) in

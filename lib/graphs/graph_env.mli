@@ -33,7 +33,19 @@ type port_state =
   | Tree  (** a retained (BFS-tree) edge *)
   | Closed  (** traversed and discarded by the closing rule *)
 
-val create : Graph.t -> origin:Graph.node -> k:int -> t
+val create :
+  ?probe:Bfdn_obs.Probe.t ->
+  ?fault:Bfdn_sim.Env.fault_hook ->
+  Graph.t ->
+  origin:Graph.node ->
+  k:int ->
+  t
+(** [probe] (default {!Bfdn_obs.Probe.noop}) receives per-round deltas
+    from {!apply}, exactly as the tree environment reports them.
+    [fault] (default {!Bfdn_sim.Env.fault_noop}) injects crashes and
+    restarts: a down robot's selection is forced to [Stay] (reported as
+    not {!allowed}), and a restart teleports the robot to the origin
+    between rounds, clearing any pending backtrack. *)
 
 val k : t -> int
 val round : t -> int
@@ -82,11 +94,24 @@ val ports_from_origin : t -> Graph.node -> int list
 val fully_explored : t -> bool
 val all_at_origin : t -> bool
 
+val unknown_ports_total : t -> int
+(** Unknown ports remaining over all explored nodes — the graph
+    analogue of the tree view's dangling-port count. *)
+
+val allowed : t -> robot -> bool
+(** Whether the fault hook lets the robot act in the upcoming round. A
+    crashed robot reads as not allowed; algorithms should select [Stay]
+    for it (any other selection is discarded by {!apply}). *)
+
+val restarts : t -> int
+(** Robots teleported back to the origin by crash-with-restart so far. *)
+
 val apply : t -> move array -> unit
 (** One synchronous round.
     @raise Invalid_argument on illegal selections (bad port, [Back] with
     no pending backtrack, moving while backtrack is pending, robot on an
-    unexplored node selecting anything but [Back]/[Stay]). *)
+    unexplored node selecting anything but [Back]/[Stay]). Selections of
+    robots that are not {!allowed} are discarded, not validated. *)
 
 (** {2 Metrics and oracle} *)
 

@@ -1,9 +1,13 @@
 (** The single algorithm-dispatch table of the repository.
 
     Every exploration-algorithm variant registers a canonical name
-    (plus aliases), a documentation string, a {!Param} schema and a
-    constructor, together with {e capability flags} describing which
-    environments it can drive. The CLI ([bin/explore.ml]), the bench
+    (plus aliases), a documentation string, a {!Param} schema and one
+    constructor {e per environment it can drive}: synchronous trees
+    ({!Bfdn_sim.Env}, the fast path), graphs
+    ({!Bfdn_graphs.Graph_env}), and the continuous-time relaxation
+    ({!Bfdn_sim.Async_env}). Capability flags are {e derived} from the
+    constructors that exist ({!caps}), so listings can never drift from
+    what [instantiate*] accepts. The CLI ([bin/explore.ml]), the bench
     harness and the engine's {!Bfdn_engine.Job} all resolve algorithm
     names here — none of them carries its own name→constructor match
     any more, so a variant registered once is reachable everywhere
@@ -34,20 +38,46 @@ type ctx = {
           write-drop predicate read by crash-tolerant BFDN). *)
 }
 
+type graph_ctx = {
+  g_env : Bfdn_graphs.Graph_env.t;
+      (** built by the caller: probes and fault hooks are threaded into
+          {!Bfdn_graphs.Graph_env.create}, not here *)
+  g_rng : Bfdn_util.Rng.t;
+  g_params : Param.binding list;
+}
+
+type async_ctx = {
+  a_tree : Bfdn_trees.Tree.t;
+      (** the hidden tree; the constructor builds the
+          {!Bfdn_sim.Async_env} itself so parameters (robot speeds) can
+          shape it *)
+  a_k : int;
+  a_rng : Bfdn_util.Rng.t;
+  a_probe : Bfdn_obs.Probe.t;
+  a_params : Param.binding list;
+  a_fault : Bfdn_sim.Env.fault_hook;
+}
+
 type entry = {
   name : string;
   aliases : string list;
   doc : string;
   params : Param.spec list;
-  caps : caps;
-  make : (ctx -> Bfdn_sim.Runner.algo) option;
-      (** [None] for variants that do not run on {!Bfdn_sim.Env}
-          (graph/async): they are registered for listing and capability
-          reporting, and are driven by their own harnesses. *)
+  adaptive : bool;
+      (** semantic flag, meaningful only alongside [make_tree] *)
+  make_tree : (ctx -> Bfdn_sim.Runner.algo) option;
+  make_graph : (graph_ctx -> Bfdn_sim.Exec_env.t) option;
+  make_async : (async_ctx -> Bfdn_sim.Exec_env.t) option;
 }
 
+val caps : entry -> caps
+(** Derived from constructor presence: [tree = (make_tree <> None)],
+    [graph = (make_graph <> None)], [async = (make_async <> None)],
+    [adaptive = adaptive && tree]. *)
+
 val all : entry list
-(** Registration order; canonical names are unique. *)
+(** Registration order; canonical names are unique and every entry has
+    at least one constructor (enforced at module initialization). *)
 
 val find : string -> entry option
 (** Resolve a canonical name or an alias. *)
@@ -62,6 +92,12 @@ val tree_names : string list
 val adaptive_names : string list
 (** Canonical names sound against adaptive adversaries — the
     [adversary] subcommand vocabulary. *)
+
+val graph_names : string list
+(** Canonical names runnable on graph worlds. *)
+
+val async_names : string list
+(** Canonical names runnable in the continuous-time relaxation. *)
 
 val cli_choices : (string * string) list
 (** [(token, canonical)] for every tree-runnable name {e and} its
@@ -78,7 +114,31 @@ val instantiate :
   string ->
   Bfdn_sim.Env.t ->
   Bfdn_sim.Runner.algo
-(** Construct a named algorithm on an environment. [rng] defaults to a
-    fresh deterministic stream (seed 0) — deterministic algorithms never
-    touch it. @raise Invalid_argument on an unknown name, a non-tree
-    algorithm, or parameters violating the schema. *)
+(** Construct a named algorithm on a tree environment. [rng] defaults to
+    a fresh deterministic stream (seed 0) — deterministic algorithms
+    never touch it. @raise Invalid_argument on an unknown name, an
+    algorithm with no tree constructor, or parameters violating the
+    schema. *)
+
+val instantiate_graph :
+  ?rng:Bfdn_util.Rng.t ->
+  ?params:Param.binding list ->
+  string ->
+  Bfdn_graphs.Graph_env.t ->
+  Bfdn_sim.Exec_env.t
+(** Construct a named algorithm on a graph environment, packaged for
+    {!Bfdn_sim.Exec_env.run}. @raise Invalid_argument as
+    {!instantiate}. *)
+
+val instantiate_async :
+  ?probe:Bfdn_obs.Probe.t ->
+  ?rng:Bfdn_util.Rng.t ->
+  ?params:Param.binding list ->
+  ?fault:Bfdn_sim.Env.fault_hook ->
+  string ->
+  Bfdn_trees.Tree.t ->
+  k:int ->
+  Bfdn_sim.Exec_env.t
+(** Construct a named algorithm in the continuous-time relaxation on the
+    given hidden tree, packaged for {!Bfdn_sim.Exec_env.run}.
+    @raise Invalid_argument as {!instantiate}. *)

@@ -1,5 +1,6 @@
 module Env = Bfdn_sim.Env
 module Runner = Bfdn_sim.Runner
+module Exec_env = Bfdn_sim.Exec_env
 module Adversary = Bfdn_sim.Adversary
 module Rng = Bfdn_util.Rng
 module Probe = Bfdn_obs.Probe
@@ -111,15 +112,7 @@ let validate t =
     | None -> Error (Printf.sprintf "unknown algorithm %S" t.algo)
     | Some e -> Ok e
   in
-  let* () =
-    match entry.Algo_registry.make with
-    | Some _ when entry.caps.tree -> Ok ()
-    | _ ->
-        Error
-          (Printf.sprintf
-             "algorithm %S does not run on the synchronous tree environment"
-             t.algo)
-  in
+  let caps = Algo_registry.caps entry in
   let* () =
     check_params
       ~what:(Printf.sprintf "algorithm %S" t.algo)
@@ -131,23 +124,38 @@ let validate t =
         match World_registry.find world with
         | None -> Error (Printf.sprintf "unknown world %S" world)
         | Some e -> (
+            let* () =
+              check_params
+                ~what:(Printf.sprintf "world %S" world)
+                ~schema:e.params params
+            in
             match e.World_registry.kind with
-            | World_registry.Grid _ ->
-                Error
-                  (Printf.sprintf
-                     "world %S is a graph world: scenarios run on trees (use \
-                      the grid subcommand)"
-                     world)
+            | World_registry.Grid _ | World_registry.Graph _ ->
+                if caps.graph then Ok ()
+                else
+                  Error
+                    (Printf.sprintf
+                       "algorithm %S does not run on graph worlds (world %S \
+                        needs a graph-capable algorithm, e.g. bfdn-graph)"
+                       t.algo world)
             | World_registry.Tree _ ->
                 let* () =
-                  check_params
-                    ~what:(Printf.sprintf "world %S" world)
-                    ~schema:e.params params
+                  if caps.tree || caps.async then Ok ()
+                  else
+                    Error
+                      (Printf.sprintf
+                         "algorithm %S does not run on tree worlds" t.algo)
                 in
                 (match World_registry.scale_of_params params with
                 | "eager" -> Ok ()
                 | "lazy" ->
-                    if Bfdn_sim.Lazy_world.supported world then Ok ()
+                    if not caps.tree then
+                      Error
+                        (Printf.sprintf
+                           "algorithm %S needs an eagerly materialized world \
+                            (scale=lazy is tree-runner only)"
+                           t.algo)
+                    else if Bfdn_sim.Lazy_world.supported world then Ok ()
                     else
                       Error
                         (Printf.sprintf
@@ -170,7 +178,7 @@ let validate t =
                 ~what:(Printf.sprintf "adversary %S" policy)
                 ~schema:p.p_params params
             in
-            if entry.caps.adaptive then Ok ()
+            if caps.adaptive then Ok ()
             else
               Error
                 (Printf.sprintf
@@ -196,6 +204,30 @@ let validate t =
 
 let schema_version = 1
 
+(* Version 2 extends the vocabulary (graph/grid worlds, async-only
+   algorithms) without changing the member shape. It is emitted only for
+   specs that need it, so every version-1 spec — and its fingerprint,
+   the serve cache key — stays byte-identical (pinned by the wire-shape
+   golden test). The parser accepts both. *)
+let schema_version_graph = 2
+
+let wire_version t =
+  let graph_world =
+    match t.instance with
+    | Adversarial _ -> false
+    | World { world; _ } -> (
+        match World_registry.find world with
+        | Some { World_registry.kind = Grid _ | Graph _; _ } -> true
+        | _ -> false)
+  in
+  let non_tree_algo =
+    match Algo_registry.find t.algo with
+    | Some e -> e.Algo_registry.make_tree = None
+    | None -> false
+  in
+  if graph_world || non_tree_algo then schema_version_graph
+  else schema_version
+
 let named name params =
   Json.Obj [ ("name", Json.String name); ("params", Param.to_json params) ]
 
@@ -218,7 +250,7 @@ let to_json t =
     else [ ("faults", Param.to_json t.faults) ]
   in
   Json.Obj
-    ([ ("schema_version", Json.Int schema_version);
+    ([ ("schema_version", Json.Int (wire_version t));
        instance_field;
        ("algo", named t.algo t.algo_params);
      ]
@@ -247,7 +279,7 @@ let named_of_json ~what j =
 let of_json j =
   let* version = int_field j "schema_version" in
   let* () =
-    if version = schema_version then Ok ()
+    if version = schema_version || version = schema_version_graph then Ok ()
     else Error (Printf.sprintf "unsupported schema_version %d" version)
   in
   let* instance =
@@ -345,13 +377,14 @@ let registry_json () =
   let algorithms =
     List.map
       (fun (e : Algo_registry.entry) ->
+        let c = Algo_registry.caps e in
         Json.Obj
           [
             ("name", Json.String e.name);
             ("aliases", Json.List (List.map (fun a -> Json.String a) e.aliases));
             ("doc", Json.String e.doc);
-            ("caps", caps e.caps);
-            ("runnable", Json.Bool (e.make <> None));
+            ("caps", caps c);
+            ("runnable", Json.Bool (c.tree || c.graph || c.async));
             ("params", Param.json_of_schema e.params);
           ])
       Algo_registry.all
@@ -363,6 +396,7 @@ let registry_json () =
           match e.kind with
           | World_registry.Tree _ -> "tree"
           | World_registry.Grid _ -> "grid"
+          | World_registry.Graph _ -> "graph"
         in
         Json.Obj
           [
@@ -386,7 +420,7 @@ let registry_json () =
   in
   Json.Obj
     [
-      ("schema_version", Json.Int schema_version);
+      ("schema_version", Json.Int schema_version_graph);
       ("algorithms", Json.List algorithms);
       ("worlds", Json.List worlds);
       ("policies", Json.List policies);
@@ -447,42 +481,116 @@ let fault_plan t root = Fault_spec.plan ~rng:(fault_stream root) ~k:t.k t.faults
 let instantiate ~probe ~rng ?fault t env =
   Algo_registry.instantiate ~probe ~rng ~params:t.algo_params ?fault t.algo env
 
+(* The tree path wraps the scenario-level [on_round] (which receives the
+   uniform execution view) back into Runner's [Env.t] callback; when no
+   observer is installed nothing is allocated and Runner's plain loop
+   runs untouched. *)
+let tree_on_round ~on_round ~algo env =
+  match on_round with
+  | None -> None
+  | Some f ->
+      let view = Exec_env.of_env algo env in
+      Some (fun (_ : Env.t) -> f view)
+
+(* Graph worlds: build the port-labeled graph from the instance stream,
+   thread probe + fault hook into the graph environment, and drive the
+   algorithm's execution view with the generic round loop. *)
+let run_graph ~probe ~on_round ~root ~fault_hook t ~world ~params =
+  let module Genv = Bfdn_graphs.Graph_env in
+  let g, origin =
+    World_registry.build_graph ~rng:(instance_stream root) ~params world
+  in
+  let genv = Genv.create ~probe ~fault:fault_hook g ~origin ~k:t.k in
+  let exec =
+    Algo_registry.instantiate_graph ~rng:(algo_stream root)
+      ~params:t.algo_params t.algo genv
+  in
+  let result = Exec_env.run ?max_rounds:t.max_rounds ?on_round ~probe exec in
+  {
+    result;
+    replay_rounds = None;
+    n = Genv.oracle_n_nodes genv;
+    depth = Genv.oracle_radius genv;
+    max_degree = Genv.oracle_max_degree genv;
+  }
+
+(* Tree worlds driven by an async-only algorithm: same hidden instance
+   as the synchronous path (identical instance-stream draw), stepped in
+   unit-time horizons. *)
+let run_async ~probe ~on_round ~root ~fault_hook t tree =
+  let exec =
+    Algo_registry.instantiate_async ~probe ~rng:(algo_stream root)
+      ~params:t.algo_params ~fault:fault_hook t.algo tree ~k:t.k
+  in
+  let result = Exec_env.run ?max_rounds:t.max_rounds ?on_round ~probe exec in
+  let stats = Bfdn_trees.Tree_stats.compute tree in
+  {
+    result;
+    replay_rounds = None;
+    n = stats.n;
+    depth = stats.depth;
+    max_degree = stats.max_degree;
+  }
+
 let run ?(probe = Probe.noop) ?on_round t =
   checked t;
   let root = Rng.create t.seed in
   let fault = fault_plan t root in
   let fault_hook = Bfdn_faults.Injector.hook_opt fault in
   match t.instance with
-  | World { world; params } ->
-      let env =
-        match World_registry.scale_of_params params with
-        | "lazy" ->
-            (* Huge tier: the hidden tree is generated at reveal, so the
-               run holds O(explored) state. The lazy seed is one draw off
-               the instance stream — the same stream the eager build
-               would consume — keeping the derivation spec-deterministic. *)
-            let seed =
-              Int64.to_int (Rng.bits64 (instance_stream root)) land max_int
-            in
-            let lw = World_registry.build_lazy ~seed ~params world in
-            Env.of_world (Bfdn_sim.Lazy_world.world lw) ~k:t.k ~probe
-              ~fault:fault_hook
-        | _ ->
-            let tree =
-              World_registry.build_tree ~rng:(instance_stream root) ~params
-                world
-            in
-            Env.create tree ~k:t.k ~probe ~fault:fault_hook
+  | World { world; params } -> (
+      let entry =
+        match Algo_registry.find t.algo with
+        | Some e -> e
+        | None -> assert false (* checked *)
       in
-      let algo = instantiate ~probe ~rng:(algo_stream root) ?fault t env in
-      let result = Runner.run ?max_rounds:t.max_rounds ?on_round ~probe algo env in
-      {
-        result;
-        replay_rounds = None;
-        n = Env.oracle_n env;
-        depth = Env.oracle_depth env;
-        max_degree = Env.oracle_max_degree env;
-      }
+      let kind =
+        match World_registry.find world with
+        | Some e -> e.World_registry.kind
+        | None -> assert false (* checked *)
+      in
+      match kind with
+      | World_registry.Grid _ | World_registry.Graph _ ->
+          run_graph ~probe ~on_round ~root ~fault_hook t ~world ~params
+      | World_registry.Tree _ when entry.Algo_registry.make_tree = None ->
+          let tree =
+            World_registry.build_tree ~rng:(instance_stream root) ~params world
+          in
+          run_async ~probe ~on_round ~root ~fault_hook t tree
+      | World_registry.Tree _ ->
+          let env =
+            match World_registry.scale_of_params params with
+            | "lazy" ->
+                (* Huge tier: the hidden tree is generated at reveal, so the
+                   run holds O(explored) state. The lazy seed is one draw off
+                   the instance stream — the same stream the eager build
+                   would consume — keeping the derivation spec-deterministic. *)
+                let seed =
+                  Int64.to_int (Rng.bits64 (instance_stream root)) land max_int
+                in
+                let lw = World_registry.build_lazy ~seed ~params world in
+                Env.of_world (Bfdn_sim.Lazy_world.world lw) ~k:t.k ~probe
+                  ~fault:fault_hook
+            | _ ->
+                let tree =
+                  World_registry.build_tree ~rng:(instance_stream root) ~params
+                    world
+                in
+                Env.create tree ~k:t.k ~probe ~fault:fault_hook
+          in
+          let algo = instantiate ~probe ~rng:(algo_stream root) ?fault t env in
+          let result =
+            Runner.run ?max_rounds:t.max_rounds
+              ?on_round:(tree_on_round ~on_round ~algo env)
+              ~probe algo env
+          in
+          {
+            result;
+            replay_rounds = None;
+            n = Env.oracle_n env;
+            depth = Env.oracle_depth env;
+            max_degree = Env.oracle_max_degree env;
+          })
   | Adversarial { policy; params } ->
       let adv =
         World_registry.build_adversary ~rng:(instance_stream root) ~params
@@ -492,7 +600,11 @@ let run ?(probe = Probe.noop) ?on_round t =
         Env.of_world (Adversary.world adv) ~k:t.k ~probe ~fault:fault_hook
       in
       let algo = instantiate ~probe ~rng:(algo_stream root) ?fault t env in
-      let result = Runner.run ?max_rounds:t.max_rounds ?on_round ~probe algo env in
+      let result =
+        Runner.run ?max_rounds:t.max_rounds
+          ?on_round:(tree_on_round ~on_round ~algo env)
+          ~probe algo env
+      in
       let tree = Adversary.frozen adv in
       let stats = Bfdn_trees.Tree_stats.compute tree in
       let fault2 = fault_plan t root in
@@ -520,35 +632,57 @@ let materialize t =
         ("Scenario.materialize: adversarial worlds only exist after a run: "
        ^ describe t)
   | World { world; params } -> (
-      match World_registry.scale_of_params params with
-      | "lazy" ->
-          (* The same seed derivation as [run], so the materialized tree
-             is the instance a (breadth-first) lazy run discovers. *)
-          let seed =
-            Int64.to_int
-              (Rng.bits64 (instance_stream (Rng.create t.seed)))
-            land max_int
-          in
-          Bfdn_sim.Lazy_world.materialize
-            (World_registry.build_lazy ~seed ~params world)
-      | _ ->
-          World_registry.build_tree
-            ~rng:(instance_stream (Rng.create t.seed))
-            ~params world)
+      match World_registry.find world with
+      | Some { World_registry.kind = Grid _ | Graph _; _ } ->
+          invalid_arg
+            ("Scenario.materialize: " ^ world
+           ^ " is a graph world, not a tree: " ^ describe t)
+      | _ -> (
+          match World_registry.scale_of_params params with
+          | "lazy" ->
+              (* The same seed derivation as [run], so the materialized tree
+                 is the instance a (breadth-first) lazy run discovers. *)
+              let seed =
+                Int64.to_int
+                  (Rng.bits64 (instance_stream (Rng.create t.seed)))
+                land max_int
+              in
+              Bfdn_sim.Lazy_world.materialize
+                (World_registry.build_lazy ~seed ~params world)
+          | _ ->
+              World_registry.build_tree
+                ~rng:(instance_stream (Rng.create t.seed))
+                ~params world))
 
 let run_on_tree ?(probe = Probe.noop) ?on_round t tree =
   checked t;
   let root = Rng.create t.seed in
   let fault = fault_plan t root in
-  let env =
-    Env.create tree ~k:t.k ~probe ~fault:(Bfdn_faults.Injector.hook_opt fault)
+  let tree_capable =
+    match Algo_registry.find t.algo with
+    | Some e -> e.Algo_registry.make_tree <> None
+    | None -> false
   in
-  let algo = instantiate ~probe ~rng:(algo_stream root) ?fault t env in
-  let result = Runner.run ?max_rounds:t.max_rounds ?on_round ~probe algo env in
-  {
-    result;
-    replay_rounds = None;
-    n = Env.oracle_n env;
-    depth = Env.oracle_depth env;
-    max_degree = Env.oracle_max_degree env;
-  }
+  if not tree_capable then
+    (* Async-only algorithm on an explicit hidden tree: same derivation
+       as [run] on a tree world. *)
+    run_async ~probe ~on_round ~root
+      ~fault_hook:(Bfdn_faults.Injector.hook_opt fault)
+      t tree
+  else
+    let env =
+      Env.create tree ~k:t.k ~probe ~fault:(Bfdn_faults.Injector.hook_opt fault)
+    in
+    let algo = instantiate ~probe ~rng:(algo_stream root) ?fault t env in
+    let result =
+      Runner.run ?max_rounds:t.max_rounds
+        ?on_round:(tree_on_round ~on_round ~algo env)
+        ~probe algo env
+    in
+    {
+      result;
+      replay_rounds = None;
+      n = Env.oracle_n env;
+      depth = Env.oracle_depth env;
+      max_degree = Env.oracle_max_degree env;
+    }

@@ -15,7 +15,10 @@
 
 type instance =
   | World of { world : string; params : Param.binding list }
-      (** a {!World_registry} tree world *)
+      (** a {!World_registry} world — tree, grid or general graph; the
+          world's kind together with the algorithm's constructors picks
+          the execution path (synchronous tree runner, graph
+          environment, or continuous-time relaxation) *)
   | Adversarial of { policy : string; params : Param.binding list }
       (** a lazily materialized world grown online by a
           {!World_registry} policy; the frozen tree is replayed after
@@ -129,27 +132,39 @@ val registry_json : unit -> Bfdn_obs.Json.t
 (** {2 Execution} *)
 
 val run :
-  ?probe:Bfdn_obs.Probe.t -> ?on_round:(Bfdn_sim.Env.t -> unit) -> t -> outcome
-(** Execute the spec: derive the instance and algorithm RNG streams
-    from [seed] ([Rng.split] indices 0 and 1), build the environment,
-    construct the algorithm through {!Algo_registry} and drive
-    {!Bfdn_sim.Runner.run}. Adversarial scenarios additionally re-run
-    the algorithm on the frozen tree and report [replay_rounds].
-    [probe]/[on_round] observe the run without altering it.
+  ?probe:Bfdn_obs.Probe.t ->
+  ?on_round:(Bfdn_sim.Exec_env.t -> unit) ->
+  t ->
+  outcome
+(** Execute the spec — the single executor for every world kind. Derive
+    the instance and algorithm RNG streams from [seed] ([Rng.split]
+    indices 0 and 1), build the environment, construct the algorithm
+    through {!Algo_registry} and drive the matching loop: synchronous
+    tree worlds run through the monomorphic {!Bfdn_sim.Runner.run} fast
+    path, grid/graph worlds through {!Bfdn_graphs.Graph_env} and
+    tree worlds paired with an async-only algorithm through
+    {!Bfdn_sim.Async_env} — the latter two via the uniform
+    {!Bfdn_sim.Exec_env.run} loop. Adversarial scenarios additionally
+    re-run the algorithm on the frozen tree and report [replay_rounds].
+    [probe]/[on_round] observe the run without altering it; [on_round]
+    receives the uniform {!Bfdn_sim.Exec_env.t} execution view on every
+    path (on the tree path it is a wrapper over the live [Env.t], built
+    only when an observer is installed).
     @raise Invalid_argument when {!validate} fails. *)
 
 val materialize : t -> Bfdn_trees.Tree.t
 (** The hidden tree [run] would explore, generated from the same
     instance stream — for [--dump-tree]-style exports.
     @raise Invalid_argument for adversarial scenarios (their tree only
-    exists after a run). *)
+    exists after a run) and for grid/graph worlds (no hidden tree). *)
 
 val run_on_tree :
   ?probe:Bfdn_obs.Probe.t ->
-  ?on_round:(Bfdn_sim.Env.t -> unit) ->
+  ?on_round:(Bfdn_sim.Exec_env.t -> unit) ->
   t ->
   Bfdn_trees.Tree.t ->
   outcome
 (** Run the spec's algorithm on an externally supplied tree (e.g. a
     [--tree-file] replay), with the same algorithm-stream derivation as
-    {!run}; the spec's instance field is ignored. *)
+    {!run}; the spec's instance field is ignored. Async-only algorithms
+    run the continuous-time path on the given tree. *)

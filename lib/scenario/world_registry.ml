@@ -7,6 +7,7 @@ type ctx = { rng : Rng.t; params : Param.binding list }
 type kind =
   | Tree of (ctx -> Bfdn_trees.Tree.t)
   | Grid of (ctx -> Bfdn_graphs.Grid.t)
+  | Graph of (ctx -> Bfdn_graphs.Graph.t * int)
 
 type entry = { name : string; doc : string; params : Param.spec list; kind : kind }
 
@@ -121,13 +122,73 @@ let grid_entry =
                ~obstacle_count:(gi "obstacles") ~max_side));
   }
 
-let worlds = tree_entries @ [ grid_entry ]
+(* ---- general graph worlds ---- *)
+
+let random_graph_params =
+  [
+    { Param.key = "n"; doc = "node count"; default = Param.Int 400 };
+    {
+      Param.key = "extra_edges";
+      doc = "chords added on top of the random spanning tree (edge density)";
+      default = Param.Int 120;
+    };
+  ]
+
+let layered_params =
+  [
+    { Param.key = "layers"; doc = "number of layers"; default = Param.Int 12 };
+    { Param.key = "width"; doc = "nodes per layer"; default = Param.Int 8 };
+    {
+      Param.key = "chords";
+      doc = "extra same-or-adjacent-layer chords";
+      default = Param.Int 30;
+    };
+  ]
+
+let graph_entries =
+  [
+    {
+      name = "random-graph";
+      doc =
+        "connected random graph — spanning tree plus uniform chords \
+         (general-graph exploration, Proposition 9)";
+      params = random_graph_params;
+      kind =
+        Graph
+          (fun c ->
+            let gi k = Param.get_int ~schema:random_graph_params c.params k in
+            ( Bfdn_graphs.Graph_gen.random_connected ~rng:c.rng ~n:(gi "n")
+                ~extra_edges:(gi "extra_edges"),
+              0 ));
+    };
+    {
+      name = "layered";
+      doc =
+        "layered graph — consecutive layers fully wired through a random \
+         matching plus chords; origin in layer 0";
+      params = layered_params;
+      kind =
+        Graph
+          (fun c ->
+            let gi k = Param.get_int ~schema:layered_params c.params k in
+            ( Bfdn_graphs.Graph_gen.layered ~rng:c.rng ~layers:(gi "layers")
+                ~width:(gi "width") ~chords:(gi "chords"),
+              0 ));
+    };
+  ]
+
+let worlds = tree_entries @ [ grid_entry ] @ graph_entries
 
 let find name = List.find_opt (fun e -> String.equal e.name name) worlds
 
 let tree_names =
   List.filter_map
-    (fun e -> match e.kind with Tree _ -> Some e.name | Grid _ -> None)
+    (fun e -> match e.kind with Tree _ -> Some e.name | Grid _ | Graph _ -> None)
+    worlds
+
+let graph_names =
+  List.filter_map
+    (fun e -> match e.kind with Grid _ | Graph _ -> Some e.name | Tree _ -> None)
     worlds
 
 let cli_world_choices = List.map (fun n -> (n, n)) tree_names
@@ -137,10 +198,34 @@ let build_tree ?rng ?(params = []) name =
   | None -> invalid_arg ("World_registry: unknown world " ^ name)
   | Some e -> (
       match e.kind with
-      | Grid _ ->
+      | Grid _ | Graph _ ->
           invalid_arg
             ("World_registry: " ^ name ^ " is a graph world, not a tree")
       | Tree build -> (
+          match Param.validate ~schema:e.params params with
+          | Error msg ->
+              invalid_arg (Printf.sprintf "World_registry: %s: %s" name msg)
+          | Ok () ->
+              let rng = match rng with Some r -> r | None -> Rng.create 0 in
+              build { rng; params }))
+
+let build_graph ?rng ?(params = []) name =
+  match find name with
+  | None -> invalid_arg ("World_registry: unknown world " ^ name)
+  | Some e -> (
+      match e.kind with
+      | Tree _ ->
+          invalid_arg
+            ("World_registry: " ^ name ^ " is a tree world, not a graph")
+      | Grid build -> (
+          match Param.validate ~schema:e.params params with
+          | Error msg ->
+              invalid_arg (Printf.sprintf "World_registry: %s: %s" name msg)
+          | Ok () ->
+              let rng = match rng with Some r -> r | None -> Rng.create 0 in
+              let grid = build { rng; params } in
+              (Bfdn_graphs.Grid.graph grid, Bfdn_graphs.Grid.origin grid))
+      | Graph build -> (
           match Param.validate ~schema:e.params params with
           | Error msg ->
               invalid_arg (Printf.sprintf "World_registry: %s: %s" name msg)

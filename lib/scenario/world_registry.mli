@@ -12,8 +12,11 @@ type kind =
   | Tree of (ctx -> Bfdn_trees.Tree.t)
       (** a fixed hidden tree, generated up front *)
   | Grid of (ctx -> Bfdn_graphs.Grid.t)
-      (** a warehouse grid (graph exploration; driven by the [grid]
-          subcommand, not by {!Scenario.run}) *)
+      (** a warehouse grid — a graph world that keeps its geometry (the
+          [grid] subcommand renders it); {!Scenario.run} drives it
+          through {!build_graph} *)
+  | Graph of (ctx -> Bfdn_graphs.Graph.t * int)
+      (** a general connected graph with its origin *)
 
 type entry = { name : string; doc : string; params : Param.spec list; kind : kind }
 
@@ -35,6 +38,10 @@ val tree_names : string list
 (** Names whose kind is [Tree] — the [run]/[sweep] world vocabulary
     (identical to {!Bfdn_trees.Tree_gen.families}, asserted in tests). *)
 
+val graph_names : string list
+(** Names whose kind is [Grid] or [Graph] — worlds {!build_graph}
+    accepts (the [bfdn-graph] scenario vocabulary). *)
+
 val cli_world_choices : (string * string) list
 (** [(token, name)] pairs for tree worlds, for CLI enums. *)
 
@@ -45,6 +52,14 @@ val build_tree :
     (seed 0); deterministic families ignore it.
     @raise Invalid_argument on an unknown or non-tree name, or
     parameters violating the schema. *)
+
+val build_graph :
+  ?rng:Bfdn_util.Rng.t -> ?params:Param.binding list -> string ->
+  Bfdn_graphs.Graph.t * Bfdn_graphs.Graph.node
+(** Generate a named graph world with its origin. Grid worlds yield
+    their underlying port-labeled graph and origin cell.
+    @raise Invalid_argument on an unknown or tree name, or parameters
+    violating the schema. *)
 
 val scale_of_params : Param.binding list -> string
 (** The [scale] parameter of a tree-world binding list (["eager"] by

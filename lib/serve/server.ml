@@ -213,8 +213,8 @@ let exec t (job : Q.job) =
     let deadline =
       Clock.now_ns () + int_of_float (job.Q.timeout_s *. 1e9)
     in
-    let on_round env =
-      let frame = Trace.json_of_frame (Trace.frame_of_env env) in
+    let on_round (exec : Bfdn_sim.Exec_env.t) =
+      let frame = Trace.json_of_frame (exec.Bfdn_sim.Exec_env.frame ()) in
       Stream.push job.Q.stream frame;
       Ring.push job.Q.frames frame;
       if Clock.now_ns () > deadline then begin

@@ -18,6 +18,7 @@ type t = {
   mutable now : float;
   mutable makespan : float;
   travelled : int array;
+  mutable restarts : int;
 }
 
 type decide = t -> robot -> action
@@ -48,6 +49,7 @@ let create ?speeds hidden ~k =
     now = 0.0;
     makespan = 0.0;
     travelled = Array.make k 0;
+    restarts = 0;
   }
 
 let view t = t.view
@@ -64,6 +66,11 @@ let all_at_root t =
 
 let makespan t = t.makespan
 let distance_travelled t i = t.travelled.(i)
+let moves_total t = Array.fold_left ( + ) 0 t.travelled
+let positions t = Array.copy t.positions
+let restarts t = t.restarts
+let min_speed t = Array.fold_left min t.speeds.(0) t.speeds
+let oracle_depth t = Tree.depth t.hidden
 
 (* Launch a traversal: schedule the arrival event and claim dangling
    ports. *)
@@ -95,45 +102,124 @@ let depart t i action =
       t.in_transit.(i) <- true;
       true
 
-let run ?(max_events = 10_000_000) decide t =
-  let parked = Array.make t.k false in
-  let ask i =
-    if not t.in_transit.(i) then begin
-      if depart t i (decide t i) then parked.(i) <- false else parked.(i) <- true
-    end
+(* The driver factors {!run}'s event pump into resumable horizons so a
+   synchronous round loop ({!Exec_env.run}) can step the simulation one
+   unit of continuous time at a time, interleaving fault checks between
+   horizons. [run ~until:infinity] over the driver replays the original
+   monolithic loop event-for-event (the queue drains in the same order),
+   so existing callers of {!run} are bit-identical. *)
+type driver = {
+  d_t : t;
+  d_decide : decide;
+  d_fault : Env.fault_hook;
+  d_on_restart : (robot -> unit) option;
+  d_parked : bool array;
+  d_max_events : int;
+  mutable d_events : int;
+}
+
+let d_ask d i =
+  let t = d.d_t in
+  if not t.in_transit.(i) then begin
+    let fault = d.d_fault in
+    if fault.Env.fh_enabled && fault.Env.fh_down ~round:(int_of_float t.now) ~robot:i
+    then
+      (* Crashed while grounded: forced park until the window closes
+         (checked again at the next horizon). *)
+      d.d_parked.(i) <- true
+    else if depart t i (d.d_decide t i) then d.d_parked.(i) <- false
+    else d.d_parked.(i) <- true
+  end
+
+let driver ?(max_events = 10_000_000) ?(fault = Env.fault_noop) ?on_restart
+    decide t =
+  let d =
+    {
+      d_t = t;
+      d_decide = decide;
+      d_fault = fault;
+      d_on_restart = on_restart;
+      d_parked = Array.make t.k false;
+      d_max_events = max_events;
+      d_events = 0;
+    }
   in
   (* Initial decisions in robot order. *)
   for i = 0 to t.k - 1 do
-    ask i
+    d_ask d i
   done;
-  let events = ref 0 in
+  d
+
+let advance d ~until =
+  let t = d.d_t in
   let continue = ref true in
   while !continue do
-    match Pqueue.pop t.events with
-    | None -> continue := false
-    | Some (time, (i, dst, crossed)) ->
-        incr events;
-        if !events > max_events then failwith "Async_env.run: event limit exceeded";
-        t.now <- time;
-        t.makespan <- time;
-        let src = t.positions.(i) in
-        t.positions.(i) <- dst;
-        t.in_transit.(i) <- false;
-        t.travelled.(i) <- t.travelled.(i) + 1;
-        let discovered =
-          match crossed with
-          | None -> false
-          | Some p ->
-              Hashtbl.remove t.claims (src, p);
-              Partial_tree.Internal.resolve_dangling t.view src p dst;
-              Partial_tree.Internal.reveal t.view dst ~parent:(Some src)
-                ~num_ports:(Tree.degree t.hidden dst);
-              true
-        in
-        ask i;
-        (* New frontier: wake the parked robots (in robot order). *)
-        if discovered then
-          for j = 0 to t.k - 1 do
-            if parked.(j) then ask j
-          done
-  done
+    match Pqueue.peek t.events with
+    | Some (time, _) when time <= until -> (
+        match Pqueue.pop t.events with
+        | None -> assert false
+        | Some (time, (i, dst, crossed)) ->
+            d.d_events <- d.d_events + 1;
+            if d.d_events > d.d_max_events then
+              failwith "Async_env.run: event limit exceeded";
+            t.now <- time;
+            t.makespan <- time;
+            let src = t.positions.(i) in
+            t.positions.(i) <- dst;
+            t.in_transit.(i) <- false;
+            t.travelled.(i) <- t.travelled.(i) + 1;
+            let discovered =
+              match crossed with
+              | None -> false
+              | Some p ->
+                  Hashtbl.remove t.claims (src, p);
+                  Partial_tree.Internal.resolve_dangling t.view src p dst;
+                  Partial_tree.Internal.reveal t.view dst ~parent:(Some src)
+                    ~num_ports:(Tree.degree t.hidden dst);
+                  true
+            in
+            d_ask d i;
+            (* New frontier: wake the parked robots (in robot order). *)
+            if discovered then
+              for j = 0 to t.k - 1 do
+                if d.d_parked.(j) then d_ask d j
+              done)
+    | _ -> continue := false
+  done;
+  (* Horizon boundary: advance the clock, run the restart sweep, then
+     re-ask every parked robot (crash windows may have closed; restarted
+     robots need a fresh route). Skipped for the monolithic
+     [~until:infinity] drain, which has no boundaries. *)
+  if until < infinity then begin
+    if until > t.now then t.now <- until;
+    let fault = d.d_fault in
+    if fault.Env.fh_enabled && fault.Env.fh_may_restart then begin
+      let root = Partial_tree.root t.view in
+      let round = int_of_float until in
+      for i = 0 to t.k - 1 do
+        if
+          (not t.in_transit.(i))
+          && fault.Env.fh_restart ~round ~robot:i
+          && t.positions.(i) <> root
+        then begin
+          (* Replacement robot at the root; a teleport, not a traversal,
+             so move metrics stay untouched. *)
+          t.positions.(i) <- root;
+          t.restarts <- t.restarts + 1;
+          (match d.d_on_restart with None -> () | Some f -> f i);
+          d.d_parked.(i) <- true
+        end
+      done
+    end;
+    for i = 0 to t.k - 1 do
+      if d.d_parked.(i) then d_ask d i
+    done
+  end
+
+let idle d =
+  Pqueue.is_empty d.d_t.events
+  && Array.for_all (fun b -> not b) d.d_t.in_transit
+
+let run ?max_events decide t =
+  let d = driver ?max_events decide t in
+  advance d ~until:infinity

@@ -43,6 +43,41 @@ val position : t -> robot -> Partial_tree.node
 val claimed : t -> Partial_tree.node -> int -> bool
 (** Whether a dangling port is currently being traversed. *)
 
+(** {2 Resumable driver}
+
+    {!run} drains the event queue in one call. The driver exposes the
+    same pump in horizon-sized steps so a synchronous round loop
+    ({!Exec_env}) can interleave fault checks and probes between units
+    of continuous time. [advance ~until:infinity] on a fresh driver is
+    event-for-event identical to {!run}. *)
+
+type driver
+
+val driver :
+  ?max_events:int ->
+  ?fault:Env.fault_hook ->
+  ?on_restart:(robot -> unit) ->
+  decide ->
+  t ->
+  driver
+(** Asks every robot for its initial decision (in robot order). [fault]
+    is read against the integer clock [int_of_float now]: a down robot
+    is forced to park when asked (in-flight traversals complete —
+    crashes only ground a robot at a node); restarts are applied at
+    horizon boundaries, teleporting grounded robots to the root and
+    invoking [on_restart] so the algorithm can drop stale route state. *)
+
+val advance : driver -> until:float -> unit
+(** Process every event with timestamp [<= until], then (for finite
+    [until]) advance the clock to [until], run the restart sweep and
+    re-ask parked robots. *)
+
+val idle : driver -> bool
+(** No pending arrival and every robot parked: nothing further happens
+    without an external wake (restart or a later horizon). *)
+
+val restarts : t -> int
+
 val run : ?max_events:int -> decide -> t -> unit
 (** Drive events until every robot is parked and no arrival is pending.
     @raise Failure on [max_events] (default [10_000_000]) — a live-lock. *)
@@ -54,3 +89,15 @@ val makespan : t -> float
 
 val distance_travelled : t -> robot -> int
 (** Edges traversed by the robot. *)
+
+val moves_total : t -> int
+(** Sum of all distances travelled (unit-length traversals). *)
+
+val positions : t -> Partial_tree.node array
+(** A copy of all positions. *)
+
+val min_speed : t -> float
+
+val oracle_depth : t -> int
+(** Depth of the hidden tree — for divergence guards, not visible to
+    the algorithms. *)

@@ -1,0 +1,162 @@
+module Clock = Bfdn_util.Clock
+module Probe = Bfdn_obs.Probe
+
+type t = {
+  kind : string;
+  k : int;
+  round : unit -> int;
+  select : unit -> unit;
+  apply : unit -> unit;
+  finished : unit -> bool;
+  round_limit : unit -> int;
+  explored : unit -> bool;
+  at_home : unit -> bool;
+  moves_total : unit -> int;
+  edge_events : unit -> int;
+  positions : unit -> int array;
+  frame : unit -> Trace.frame;
+  render : unit -> string;
+}
+
+let run ?max_rounds ?(on_round = fun _ -> ()) ?(probe = Probe.noop) x =
+  let limit =
+    match max_rounds with Some m -> fun () -> m | None -> x.round_limit
+  in
+  let hit_limit = ref false in
+  let continue = ref true in
+  if probe.Probe.enabled then begin
+    (* Same phase bracketing as {!Runner.run}'s instrumented loop: the
+       phases are contiguous, so each end stamp doubles as the next
+       start — 3 clock reads per round. *)
+    let t = ref (Clock.now_ns ()) in
+    while !continue do
+      let fin = x.finished () in
+      let t1 = Clock.now_ns () in
+      probe.Probe.on_phase Probe.Finished_check (t1 - !t);
+      t := t1;
+      if fin then continue := false
+      else if x.round () >= limit () then begin
+        hit_limit := true;
+        continue := false
+      end
+      else begin
+        x.select ();
+        let t2 = Clock.now_ns () in
+        probe.Probe.on_phase Probe.Select (t2 - !t);
+        x.apply ();
+        let t3 = Clock.now_ns () in
+        probe.Probe.on_phase Probe.Apply (t3 - t2);
+        t := t3;
+        on_round x
+      end
+    done
+  end
+  else
+    while !continue do
+      if x.finished () then continue := false
+      else if x.round () >= limit () then begin
+        hit_limit := true;
+        continue := false
+      end
+      else begin
+        x.select ();
+        x.apply ();
+        on_round x
+      end
+    done;
+  {
+    Runner.rounds = x.round ();
+    explored = x.explored ();
+    at_root = x.at_home ();
+    moves = x.moves_total ();
+    edge_events = x.edge_events ();
+    hit_round_limit = !hit_limit;
+  }
+
+let of_env algo env =
+  let pending = ref [||] in
+  let round_limit =
+    if Env.fixed_world env then begin
+      let m = lazy (Runner.default_max_rounds env) in
+      fun () -> Lazy.force m
+    end
+    else fun () -> Runner.default_max_rounds env
+  in
+  {
+    kind = "tree";
+    k = Env.k env;
+    round = (fun () -> Env.round env);
+    select = (fun () -> pending := algo.Runner.select env);
+    apply = (fun () -> Env.apply env !pending);
+    finished = (fun () -> algo.Runner.finished env);
+    round_limit;
+    explored = (fun () -> Env.fully_explored env);
+    at_home = (fun () -> Env.all_at_root env);
+    moves_total = (fun () -> Env.moves_total env);
+    edge_events = (fun () -> Env.edge_events env);
+    positions = (fun () -> Env.positions env);
+    frame = (fun () -> Trace.frame_of_env env);
+    render = (fun () -> Trace.render_frame env);
+  }
+
+let of_async ?(fault = Env.fault_noop) ?(probe = Probe.noop) ?on_restart
+    decide aenv =
+  let d = Async_env.driver ~fault ?on_restart decide aenv in
+  let view = Async_env.view aenv in
+  let k = Async_env.k aenv in
+  let round = ref 0 in
+  (* Pre-horizon totals for the probe's per-round deltas. *)
+  let moves0 = ref 0 in
+  let explored0 = ref (Partial_tree.num_explored view) in
+  let limit =
+    (* The synchronous divergence guard, stretched by the slowest robot:
+       a unit edge takes [1/speed] horizons. *)
+    lazy
+      (let n = Async_env.capacity aenv in
+       let depth = Async_env.oracle_depth aenv in
+       let base = (3 * n * (depth + 2)) + 100 in
+       int_of_float (ceil (float_of_int base /. Async_env.min_speed aenv)))
+  in
+  {
+    kind = "async";
+    k;
+    round = (fun () -> !round);
+    select = (fun () -> ());
+    apply =
+      (fun () ->
+        incr round;
+        Async_env.advance d ~until:(float_of_int !round);
+        if probe.Probe.enabled then begin
+          let moves = Async_env.moves_total aenv in
+          let explored = Partial_tree.num_explored view in
+          let moved = min (moves - !moves0) k in
+          probe.Probe.on_round ~round:!round ~moved ~idle:(k - moved)
+            ~revealed:(explored - !explored0)
+            ~edge_events:(explored - !explored0);
+          moves0 := moves;
+          explored0 := explored
+        end);
+    finished =
+      (fun () -> Async_env.fully_explored aenv && Async_env.all_at_root aenv);
+    round_limit = (fun () -> Lazy.force limit);
+    explored = (fun () -> Async_env.fully_explored aenv);
+    at_home = (fun () -> Async_env.all_at_root aenv);
+    moves_total = (fun () -> Async_env.moves_total aenv);
+    edge_events = (fun () -> Partial_tree.num_explored view - 1);
+    positions = (fun () -> Async_env.positions aenv);
+    frame =
+      (fun () ->
+        {
+          Trace.round = !round;
+          positions = Async_env.positions aenv;
+          explored = Partial_tree.num_explored view;
+          dangling = Partial_tree.num_dangling view;
+        });
+    render =
+      (fun () ->
+        Printf.sprintf "t=%.2f explored=%d/%d dangling=%d\n"
+          (Async_env.now aenv)
+          (Partial_tree.num_explored view)
+          (Async_env.capacity aenv)
+          (Partial_tree.num_dangling view));
+  }

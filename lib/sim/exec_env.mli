@@ -1,0 +1,78 @@
+(** First-class execution environments: one round-loop for every world.
+
+    {!Runner.run} is the tree fast path — monomorphic over {!Env.t}, with
+    a zero-allocation uninstrumented loop — and stays that way. This
+    module is its generalized sibling: an {!t} packages the operations
+    the round loop, fault injection and the obs probes actually need
+    (select/apply phases, termination test, round accounting, positions,
+    trace frames) behind closures, so grid/graph environments
+    ([Bfdn_graphs.Graph_env]) and the continuous-time relaxation
+    ({!Async_env}, Remark 8) run through the same executor shape —
+    including the probed loop's clock-bracketed
+    [Finished_check]/[Select]/[Apply] phases that feed span trees and
+    [/metrics].
+
+    Adapters: {!of_env} wraps a tree algorithm/environment pair (used
+    when a caller needs the uniform interface for observation — the
+    scenario layer still dispatches trees to {!Runner.run});
+    {!of_async} wraps an event-driven async run as a sequence of
+    unit-time horizons so the synchronous round loop, round limits,
+    probes and fault plans apply unchanged. Graph adapters live in
+    [lib/core] ([Bfdn_graph.exec_env]) because [lib/sim] does not see
+    [bfdn_graphs]. *)
+
+type t = {
+  kind : string;  (** ["tree"], ["graph"] or ["async"] — for display. *)
+  k : int;
+  round : unit -> int;
+  select : unit -> unit;
+      (** Compute this round's moves (held internally until {!apply}).
+          Separate from [apply] so the probed loop can bracket the two
+          phases with distinct clock stamps, as {!Runner.run} does. *)
+  apply : unit -> unit;  (** Commit the selected moves: one round. *)
+  finished : unit -> bool;  (** The algorithm's own termination test. *)
+  round_limit : unit -> int;
+      (** Divergence guard when the caller sets no [max_rounds]. *)
+  explored : unit -> bool;
+  at_home : unit -> bool;  (** Every robot back at the origin/root. *)
+  moves_total : unit -> int;
+  edge_events : unit -> int;
+  positions : unit -> int array;  (** Fresh copy. *)
+  frame : unit -> Trace.frame;  (** Current state as a trace frame. *)
+  render : unit -> string;  (** Small-scale ASCII rendering. *)
+}
+
+val run :
+  ?max_rounds:int ->
+  ?on_round:(t -> unit) ->
+  ?probe:Bfdn_obs.Probe.t ->
+  t ->
+  Runner.result
+(** Same contract and loop structure as {!Runner.run} — an
+    uninstrumented loop with no clock reads, and a probed loop with 3
+    monotonic-clock reads per round bracketing the
+    [Finished_check]/[Select]/[Apply] phases — over the closure record
+    instead of a concrete environment. *)
+
+val of_env : Runner.algo -> Env.t -> t
+(** Tree adapter. [run (of_env algo env)] computes the same result as
+    [Runner.run algo env]; the scenario layer keeps calling
+    {!Runner.run} directly on the tree path so that path stays
+    monomorphic. *)
+
+val of_async :
+  ?fault:Env.fault_hook ->
+  ?probe:Bfdn_obs.Probe.t ->
+  ?on_restart:(Async_env.robot -> unit) ->
+  Async_env.decide ->
+  Async_env.t ->
+  t
+(** Async adapter: each {!t.apply} advances the event-driven simulation
+    by one unit-time horizon ([Async_env.advance]), so "round [r]" covers
+    continuous time [(r-1, r]]. [fault] is interpreted against the
+    integer horizon clock: a down robot is forced to park (it keeps any
+    in-flight traversal — crashes ground a robot only at a node), and
+    restarts teleport a grounded robot to the root, notifying the
+    algorithm via [on_restart] so it can discard stale route state. The
+    [probe]'s [on_round] fires once per horizon with per-horizon deltas,
+    which is what puts async runs on [/metrics]. *)

@@ -19,6 +19,11 @@ type result = {
   hit_round_limit : bool;
 }
 
+val default_max_rounds : Env.t -> int
+(** The divergence guard used when [max_rounds] is not given: the
+    termination bound [3 * n * (D + 2) + 100] of Section 2.1, far above
+    any correct run. Also used by {!Exec_env.of_env}. *)
+
 val run :
   ?max_rounds:int ->
   ?on_round:(Env.t -> unit) ->

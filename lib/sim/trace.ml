@@ -29,6 +29,8 @@ let record t env = Ring.push t.ring (frame_of_env env)
 
 let recorder t env = record t env
 
+let push t frame = Ring.push t.ring frame
+
 let frames t = Ring.to_list t.ring
 
 let length t = Ring.pushed t.ring

@@ -32,6 +32,10 @@ val record : t -> Env.t -> unit
 val frame_of_env : Env.t -> frame
 (** The frame {!record} would store, without storing it. *)
 
+val push : t -> frame -> unit
+(** Record an externally built frame — e.g. one produced by a
+    non-tree execution view ([Exec_env.t.frame]). *)
+
 val frames : t -> frame list
 (** Retained frames in chronological order (the newest [capacity] ones
     when the ring has wrapped). *)

@@ -356,7 +356,11 @@ let test_trace_frames_identical () =
   in
   let record () =
     let tr = Trace.create ~capacity:100_000 () in
-    let o = Scenario.run ~on_round:(Trace.recorder tr) spec in
+    let o =
+      Scenario.run
+        ~on_round:(fun x -> Trace.push tr (x.Bfdn_sim.Exec_env.frame ()))
+        spec
+    in
     (o, Trace.frames tr)
   in
   let o1, f1 = record () in

@@ -40,7 +40,7 @@ let test_algos_reachable_from_cli () =
       let e = Option.get (Algo_registry.find name) in
       checkb
         (name ^ " in adversary enum iff adaptive")
-        e.Algo_registry.caps.adaptive
+        (Algo_registry.caps e).Algo_registry.adaptive
         (List.mem_assoc name Algo_registry.adaptive_cli_choices))
     Algo_registry.tree_names;
   (* aliases resolve to their canonical entry and appear in the enum *)
@@ -52,7 +52,7 @@ let test_algos_reachable_from_cli () =
             (match Algo_registry.find alias with
             | Some e' -> e' == e
             | None -> false);
-          if e.caps.tree && e.make <> None then
+          if (Algo_registry.caps e).Algo_registry.tree then
             checkb (alias ^ " alias in enum") true
               (List.mem (alias, e.name) Algo_registry.cli_choices))
         e.aliases)
@@ -61,6 +61,36 @@ let test_algos_reachable_from_cli () =
 let test_engine_vocabulary_is_registry () =
   check_sl "Job.algos" Algo_registry.tree_names Job.algos;
   check_sl "Job.policies" World_registry.policy_names Job.policies
+
+let test_caps_match_constructors () =
+  (* The capability matrix is derived, so a listed capability without a
+     constructor (or vice versa) is impossible by construction — this
+     pins the derivation itself, plus the name lists built from it. *)
+  List.iter
+    (fun (e : Algo_registry.entry) ->
+      let c = Algo_registry.caps e in
+      checkb (e.name ^ " tree cap = constructor") c.Algo_registry.tree
+        (e.make_tree <> None);
+      checkb (e.name ^ " graph cap = constructor") c.Algo_registry.graph
+        (e.make_graph <> None);
+      checkb (e.name ^ " async cap = constructor") c.Algo_registry.async
+        (e.make_async <> None);
+      if c.Algo_registry.adaptive then
+        checkb (e.name ^ " adaptive implies tree") true c.Algo_registry.tree;
+      checkb (e.name ^ " has a constructor") true
+        (c.Algo_registry.tree || c.Algo_registry.graph || c.Algo_registry.async);
+      checkb (e.name ^ " in graph_names iff graph-capable")
+        c.Algo_registry.graph
+        (List.mem e.name Algo_registry.graph_names);
+      checkb (e.name ^ " in async_names iff async-capable")
+        c.Algo_registry.async
+        (List.mem e.name Algo_registry.async_names))
+    Algo_registry.all;
+  checkb "a graph algorithm is registered" true
+    (Algo_registry.graph_names <> []);
+  checkb "an async algorithm is registered" true
+    (Algo_registry.async_names <> []);
+  checkb "a graph world is registered" true (World_registry.graph_names <> [])
 
 let test_every_world_builds_and_explores () =
   (* Tiny end-to-end run of every tree world through the one dispatch
@@ -168,7 +198,7 @@ let test_json_rejects () =
         {|{"schema_version":1,"world":{"name":"comb"},"adversary":{"name":"miser"},"algo":{"name":"bfdn"},"k":1,"seed":0}|}
       );
       ( "bad version",
-        {|{"schema_version":2,"world":{"name":"comb"},"algo":{"name":"bfdn"},"k":1,"seed":0}|}
+        {|{"schema_version":99,"world":{"name":"comb"},"algo":{"name":"bfdn"},"k":1,"seed":0}|}
       );
       ( "unknown algorithm",
         {|{"schema_version":1,"world":{"name":"comb"},"algo":{"name":"zap"},"k":1,"seed":0}|}
@@ -244,6 +274,54 @@ let prop_json_roundtrip =
   QCheck2.Test.make ~count:500 ~name:"scenario json round-trip"
     ~print:Scenario.to_string spec_gen (fun spec ->
       match Scenario.of_string (Scenario.to_string spec) with
+      | Ok spec' -> Scenario.equal spec spec'
+      | Error e -> QCheck2.Test.fail_reportf "decode failed: %s" e)
+
+(* Graph/grid specs: same codec property over the version-2 vocabulary,
+   plus the version pin — a graph world (or async-only algorithm) must
+   be emitted as schema_version 2, never retroactively upgrade a plain
+   tree spec. *)
+let graph_spec_gen =
+  let open QCheck2.Gen in
+  let int_param = map (fun i -> Param.Int i) (int_range 1 64) in
+  bool >>= fun async ->
+  (if async then
+     oneofl World_registry.tree_names >>= fun world ->
+     oneofl Algo_registry.async_names >>= fun algo ->
+     float_range 0.0 2.0 >>= fun spread ->
+     return
+       ( Scenario.World { world; params = [] },
+         algo,
+         [ ("speed_spread", Param.Float spread) ] )
+   else
+     oneofl World_registry.graph_names >>= fun world ->
+     let entry = Option.get (World_registry.find world) in
+     let rec go = function
+       | [] -> return []
+       | (s : Param.spec) :: rest ->
+           bool >>= fun keep ->
+           go rest >>= fun tl ->
+           if keep then int_param >>= fun v -> return ((s.Param.key, v) :: tl)
+           else return tl
+     in
+     go entry.params >>= fun params ->
+     oneofl Algo_registry.graph_names >>= fun algo ->
+     return (Scenario.World { world; params }, algo, []))
+  >>= fun (instance, algo, algo_params) ->
+  int_range 1 64 >>= fun k ->
+  int_range 0 100000 >>= fun seed ->
+  return (Scenario.make ~algo ~algo_params ~k ~seed instance)
+
+let prop_graph_json_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"graph/async spec json round-trip"
+    ~print:Scenario.to_string graph_spec_gen (fun spec ->
+      let wire = Scenario.to_string spec in
+      if
+        not
+          (String.length wire > 20
+          && String.sub wire 0 20 = {|{"schema_version":2,|})
+      then QCheck2.Test.fail_reportf "not emitted as version 2: %s" wire;
+      match Scenario.of_string wire with
       | Ok spec' -> Scenario.equal spec spec'
       | Error e -> QCheck2.Test.fail_reportf "decode failed: %s" e)
 
@@ -402,6 +480,120 @@ let test_lazy_scale_rejects_unsupported () =
   | Ok () -> Alcotest.fail "unknown scale value must be rejected"
   | Error _ -> ()
 
+(* ---- graph and async worlds through the one executor ---- *)
+
+let grid_spec ?(faults = []) ?(k = 5) ?(seed = 13) () =
+  Scenario.make ~algo:"bfdn-graph" ~k ~seed ~faults
+    (Scenario.world
+       ~params:
+         [
+           ("height", Param.Int 7); ("obstacles", Param.Int 3);
+           ("width", Param.Int 9);
+         ]
+       "grid")
+
+let test_every_graph_world_explores () =
+  (* Mirror of test_every_world_builds_and_explores for the graph
+     vocabulary: a registered graph world must run end to end through
+     Scenario.run with a graph-capable algorithm. *)
+  List.iter
+    (fun world ->
+      let spec = Scenario.make ~algo:"bfdn-graph" ~k:4 ~seed:7
+          (Scenario.world world)
+      in
+      let o = Scenario.run spec in
+      checkb (world ^ " explored") true o.Scenario.result.explored;
+      checkb (world ^ " back at origin") true o.Scenario.result.at_root)
+    World_registry.graph_names
+
+let test_async_spec_runs () =
+  let spec =
+    Scenario.make ~algo:"bfdn-async"
+      ~algo_params:[ ("speed_spread", Param.Float 0.5) ]
+      ~k:6 ~seed:11
+      (Scenario.generated ~family:"comb" ~n:200 ~depth_hint:8)
+  in
+  let o = Scenario.run spec in
+  checkb "async explored" true o.Scenario.result.explored;
+  checkb "async at root" true o.Scenario.result.at_root;
+  checkb "async outcome deterministic" true
+    (Scenario.equal_outcome o (Scenario.run spec));
+  (* run_on_tree drives the async path on the spec's own tree *)
+  checkb "async run_on_tree matches run" true
+    (Scenario.equal_outcome o
+       (Scenario.run_on_tree spec (Scenario.materialize spec)))
+
+let test_graph_batch_determinism () =
+  (* the 1-vs-N oracle now covers graph and async specs: engine jobs are
+     scenarios, so a grid sweep shards across workers bit-for-bit *)
+  let module Batch = Bfdn_engine.Batch in
+  let jobs =
+    [
+      grid_spec ();
+      grid_spec ~k:9 ~seed:40 ();
+      Scenario.make ~algo:"bfdn-graph" ~k:6 ~seed:3
+        (Scenario.world ~params:[ ("n", Param.Int 200) ] "random-graph");
+      Scenario.make ~algo:"bfdn-async" ~k:4 ~seed:8
+        (Scenario.generated ~family:"random"~n:150 ~depth_hint:10);
+    ]
+  in
+  let seq = Batch.run ~workers:1 jobs in
+  let par = Batch.run ~workers:3 jobs in
+  List.iter2
+    (fun (job, a) (_, b) ->
+      match (a, b) with
+      | Ok x, Ok y ->
+          checkb
+            (Printf.sprintf "1 vs 3 workers: %s" (Job.describe job))
+            true (Job.equal_outcome x y)
+      | _ -> Alcotest.fail (Job.describe job ^ ": job failed"))
+    seq par
+
+let test_grid_fault_sweep () =
+  (* the E17-style fault machinery applies to grid worlds: crashed
+     robots freeze, restarts teleport to the origin, and the run still
+     covers the graph (the graph variant self-heals by re-anchoring). *)
+  let faulty =
+    grid_spec
+      ~faults:[ ("rate", Param.Float 0.1); ("restart", Param.Int 12) ]
+      ()
+  in
+  let clean = grid_spec () in
+  let of_ = Scenario.run faulty and oc = Scenario.run clean in
+  checkb "faulty grid run explored" true of_.Scenario.result.explored;
+  checkb "faulty grid run returns home" true of_.Scenario.result.at_root;
+  checkb "faults perturb the schedule" true
+    (of_.Scenario.result <> oc.Scenario.result);
+  checkb "fault schedule replays identically" true
+    (Scenario.equal_outcome of_ (Scenario.run faulty))
+
+let test_materialize_rejects_graph_worlds () =
+  match Scenario.materialize (grid_spec ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "materialize must reject graph worlds"
+
+let test_validate_rejects_kind_mismatch () =
+  (* tree algorithm on a graph world and graph algorithm on a tree world
+     are both caught by validate, not at execution *)
+  let bad1 =
+    Scenario.make ~algo:"bfdn" ~k:4 ~seed:1 (Scenario.world "grid")
+  in
+  let bad2 =
+    Scenario.make ~algo:"bfdn-graph" ~k:4 ~seed:1 (Scenario.world "comb")
+  in
+  let bad3 =
+    Scenario.make ~algo:"bfdn-graph" ~k:4 ~seed:1
+      (Scenario.adversarial ~policy:"miser" ~capacity:100 ~depth_budget:30)
+  in
+  List.iter
+    (fun (what, s) ->
+      checkb what true (Result.is_error (Scenario.validate s)))
+    [
+      ("tree algo on grid", bad1);
+      ("graph algo on tree", bad2);
+      ("graph algo on adversary", bad3);
+    ]
+
 let test_probe_does_not_change_outcome () =
   let spec =
     Scenario.make ~algo:"bfdn" ~k:8 ~seed:4
@@ -419,17 +611,25 @@ let suite =
       tc "worlds cover Tree_gen" test_worlds_cover_tree_gen;
       tc "algorithms reachable from CLI" test_algos_reachable_from_cli;
       tc "engine vocabulary is the registry" test_engine_vocabulary_is_registry;
+      tc "caps match constructors" test_caps_match_constructors;
       tc "every world builds and explores" test_every_world_builds_and_explores;
       tc "every policy runs" test_every_policy_runs;
       tc "validate rejects" test_validate_rejects;
       tc "json wire format" test_json_shape_and_defaults;
       tc "json rejects" test_json_rejects;
       QCheck_alcotest.to_alcotest prop_json_roundtrip;
+      QCheck_alcotest.to_alcotest prop_graph_json_roundtrip;
       tc "golden equivalence (42 configs)" test_golden_equivalence;
       tc "job.run = scenario.run" test_job_run_is_scenario_run;
       tc "save/load/re-execute" test_save_load_reexecute;
       tc "run_on_tree matches run" test_run_on_tree_matches_run;
       tc "lazy scale runs" test_lazy_scale_runs;
       tc "lazy scale rejects unsupported" test_lazy_scale_rejects_unsupported;
+      tc "every graph world explores" test_every_graph_world_explores;
+      tc "async spec runs" test_async_spec_runs;
+      tc "graph batch 1 vs N workers" test_graph_batch_determinism;
+      tc "grid fault sweep" test_grid_fault_sweep;
+      tc "materialize rejects graph worlds" test_materialize_rejects_graph_worlds;
+      tc "validate rejects kind mismatch" test_validate_rejects_kind_mismatch;
       tc "probe does not change outcome" test_probe_does_not_change_outcome;
     ] )

@@ -320,7 +320,35 @@ let test_e2e_determinism_and_cache () =
         Scenario.to_string { spec_small with Scenario.metrics = true }
       in
       checkb "metrics variant hits too" true
-        (member_string "cache" (post_run port with_metrics).Client.body = Some "hit"))
+        (member_string "cache" (post_run port with_metrics).Client.body = Some "hit");
+      (* graph worlds run through the same executor, fingerprint and
+         cache: a version-2 grid spec must miss, then hit byte-identically *)
+      let grid_spec =
+        Scenario.make ~algo:"bfdn-graph" ~k:5 ~seed:21
+          (Scenario.world
+             ~params:
+               [
+                 ("height", Param.Int 6);
+                 ("obstacles", Param.Int 2);
+                 ("width", Param.Int 8);
+               ]
+             "grid")
+      in
+      let grid_wire = Scenario.to_string grid_spec in
+      let grid_expected =
+        Json.to_string (Scenario.outcome_to_json (Scenario.run grid_spec))
+      in
+      let gmiss = post_run port grid_wire in
+      checki "grid submission runs" 200 gmiss.Client.status;
+      checkb "grid first is a miss" true
+        (member_string "cache" gmiss.Client.body = Some "miss");
+      checks "grid HTTP result = in-process outcome" grid_expected
+        (result_of gmiss.Client.body);
+      let ghit = post_run port grid_wire in
+      checkb "grid second is a hit" true
+        (member_string "cache" ghit.Client.body = Some "hit");
+      checks "grid hit byte-identical to miss" (result_of gmiss.Client.body)
+        (result_of ghit.Client.body))
 
 let test_e2e_concurrent_clients () =
   with_server (fun port ->
