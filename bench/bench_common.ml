@@ -67,6 +67,79 @@ let describe env =
   Printf.sprintf "n=%d D=%d Δ=%d" (Env.oracle_n env) (Env.oracle_depth env)
     (Env.oracle_max_degree env)
 
+(* ---- perf-gate result recording (--perf-gate) ----
+
+   Gates record one row per re-measured config here instead of exiting
+   on first failure: the driver prints every gate, then writes one
+   machine-readable summary (perf-summary.json, plus a markdown table to
+   $GITHUB_STEP_SUMMARY when CI provides it) and exits nonzero iff any
+   row failed — so a regression report always shows the full picture,
+   not just the first tripped gate. *)
+
+type gate_row = {
+  g_gate : string;  (* experiment id, e.g. "E16" *)
+  g_name : string;  (* config label within the gate *)
+  g_measured : float;
+  g_baseline : float;  (* committed value (or budget) compared against *)
+  g_ratio : float;  (* measured / baseline *)
+  g_ok : bool;
+}
+
+let gate_rows : gate_row list ref = ref []
+
+let record_gate ~gate ~name ~measured ~baseline ~ok =
+  gate_rows :=
+    {
+      g_gate = gate;
+      g_name = name;
+      g_measured = measured;
+      g_baseline = baseline;
+      g_ratio = measured /. Float.max 1e-9 baseline;
+      g_ok = ok;
+    }
+    :: !gate_rows
+
+let gate_failures () =
+  List.length (List.filter (fun r -> not r.g_ok) !gate_rows)
+
+let gate_summary_json () =
+  let module J = Bfdn_obs.Json in
+  J.Obj
+    [
+      ("failures", J.Int (gate_failures ()));
+      ( "rows",
+        J.List
+          (List.rev_map
+             (fun r ->
+               J.Obj
+                 [
+                   ("gate", J.String r.g_gate);
+                   ("name", J.String r.g_name);
+                   ("measured", J.Float r.g_measured);
+                   ("baseline", J.Float r.g_baseline);
+                   ("ratio", J.Float r.g_ratio);
+                   ("ok", J.Bool r.g_ok);
+                 ])
+             !gate_rows) );
+    ]
+
+let gate_summary_markdown () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "## Perf gate\n\n";
+  Buffer.add_string b "| gate | config | measured | baseline | ratio | status |\n";
+  Buffer.add_string b "|---|---|---:|---:|---:|---|\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "| %s | %s | %.1f | %.1f | %.2fx | %s |\n" r.g_gate
+           r.g_name r.g_measured r.g_baseline r.g_ratio
+           (if r.g_ok then "ok" else "**FAIL**")))
+    (List.rev !gate_rows);
+  Buffer.add_string b
+    (Printf.sprintf "\n%d row(s), %d failure(s)\n" (List.length !gate_rows)
+       (gate_failures ()));
+  Buffer.contents b
+
 (* ---- engine-backed batches ---- *)
 
 let run_jobs jobs = Batch.run ~workers:!workers jobs

@@ -68,7 +68,7 @@ let checks : (string * (unit -> bool)) list =
             let r = Runner.run (Bfdn.Bfdn_algo.algo (Bfdn.Bfdn_algo.make env)) env in
             r.explored)
           [| 6; 7 |] );
-    ( "E7 graphs",
+    ( "E21 graphs direct",
       fun () ->
         map_ok
           (fun seed' ->
@@ -129,6 +129,7 @@ let checks : (string * (unit -> bool)) list =
     ("E16 hotpath", fun () -> E_hotpath.smoke ());
     ("E17 faults", fun () -> E_faults.smoke ());
     ("E21 graph scenarios", fun () -> E_graph.smoke ());
+    ("E22 seed batch", fun () -> E_batch.smoke ());
     ( "E15 engine determinism",
       fun () ->
         let js = List.init 8 (fun i -> gen "random" "bfdn" 4 (100 + i)) in

@@ -15,7 +15,9 @@ let experiments =
     ("E4", E_lemma2.run);
     ("E5", E_planner.run);
     ("E6", E_breakdown.run);
-    ("E7", E_graphs.run);
+    (* E7's direct-loop grid table was absorbed into E21 (E_graph.run);
+       the alias keeps --only=E7 working. *)
+    ("E7", E_graph.run_direct);
     ("E8", E_rec.run);
     ("E9", E_cte.run);
     ("E10", E_alloc.run);
@@ -28,6 +30,7 @@ let experiments =
     ("E18", E_serve.run);
     ("E19", E_huge.run);
     ("E21", E_graph.run);
+    ("E22", E_batch.run);
     ("A1", E_ablation.run);
   ]
 
@@ -41,7 +44,23 @@ let perf_gates =
     (E_serve.report_path, E_serve.perf_gate);
     (E_huge.report_path, E_huge.perf_gate);
     (E_graph.report_path, E_graph.perf_gate);
+    (E_batch.report_path, E_batch.perf_gate);
   ]
+
+(* --perf-gate: after every gate has recorded its rows, one summary is
+   written for CI — perf-summary.json (uploaded as an artifact on every
+   run, pass or fail) and a markdown table appended to
+   $GITHUB_STEP_SUMMARY when Actions provides it. *)
+let write_perf_summary () =
+  Bfdn_engine.Report.write ~path:"perf-summary.json"
+    (Bench_common.gate_summary_json ());
+  Printf.printf "perf summary written to perf-summary.json\n";
+  match Sys.getenv_opt "GITHUB_STEP_SUMMARY" with
+  | Some path when path <> "" ->
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      output_string oc (Bench_common.gate_summary_markdown ());
+      close_out oc
+  | _ -> ()
 
 let () =
   (* Hidden re-exec entry: one E19 measurement in a fresh process so
@@ -61,6 +80,7 @@ let () =
   let smoke = ref false in
   let huge_smoke = ref false in
   let perf_gate = ref false in
+  let det_check = ref false in
   let args = List.tl (Array.to_list Sys.argv) in
   List.iter
     (fun arg ->
@@ -72,6 +92,7 @@ let () =
       | "--smoke" -> smoke := true
       | "--huge-smoke" -> huge_smoke := true
       | "--perf-gate" -> perf_gate := true
+      | "--det-check" -> det_check := true
       | _ when String.length arg > 7 && String.sub arg 0 7 = "--only=" ->
           only :=
             Some
@@ -90,18 +111,34 @@ let () =
           Printf.eprintf
             "unknown argument %s\n\
              usage: main.exe [--quick|--full] [--no-micro] [--only=E1,E2,...]\n\
-            \       [--jobs=N] [--profile] [--smoke] [--huge-smoke] [--perf-gate]\n"
+            \       [--jobs=N] [--profile] [--smoke] [--huge-smoke] [--perf-gate]\n\
+            \       [--det-check]\n"
             arg;
           exit 2)
     args;
-  if !perf_gate then
+  if !det_check then begin
+    (* CI determinism lane: sequential vs N-worker pool vs seed batch vs
+       sharded select, outcome-for-outcome over a config matrix. *)
+    if not (E_batch.det_check ~jobs:!Bench_common.workers ()) then exit 1
+  end
+  else if !perf_gate then begin
     (* CI regression tripwire: re-measure a committed-baseline subset,
-       skipping gates whose baseline file is not committed yet. *)
+       skipping gates whose baseline file is not committed yet. Gates
+       record rows instead of exiting, so the summary always covers
+       every gate; the nonzero exit happens here, after the artifact
+       is on disk. *)
     List.iter
       (fun (path, gate) ->
         if Sys.file_exists path then gate ()
         else Printf.printf "perf gate: %s not committed yet, skipped\n" path)
-      perf_gates
+      perf_gates;
+    write_perf_summary ();
+    let fails = Bench_common.gate_failures () in
+    if fails > 0 then begin
+      Printf.printf "perf gate: %d row(s) failed\n" fails;
+      exit 1
+    end
+  end
   else if !huge_smoke then begin
     (* CI tripwire for the huge scale tier: the E19 gate row must fully
        explore within its RSS ceiling (see E_huge.smoke). *)

@@ -24,6 +24,7 @@ module Trace = Bfdn_sim.Trace
 module Rng = Bfdn_util.Rng
 module Job = Bfdn_engine.Job
 module Batch = Bfdn_engine.Batch
+module Seed_batch = Bfdn_engine.Seed_batch
 module Report = Bfdn_engine.Report
 module Metrics = Bfdn_obs.Metrics
 module Probe = Bfdn_obs.Probe
@@ -231,8 +232,17 @@ let run_cmd =
       & opt (some string) None
       & info [ "dump-tree" ] ~docv:"FILE" ~doc:"Write the instance to a file for later replay.")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"S"
+          ~doc:
+            "Shard the per-robot route-computation phase over $(docv) \
+             domains. Results are bit-for-bit identical for every value — \
+             a pure latency knob for big single runs.")
+  in
   let action spec_file dump_spec smoke family algo_name n depth params k seed
-      max_rounds scale rss trace watch metrics tree_file dump_tree =
+      max_rounds scale rss trace watch metrics tree_file dump_tree shards =
     let spec =
       match spec_file with
       | Some file -> (
@@ -306,7 +316,7 @@ let run_cmd =
               close_in ic;
               Scenario.run_on_tree ~probe ~on_round spec
                 (Bfdn_trees.Tree.of_string (String.trim contents))
-          | None -> Scenario.run ~probe ~on_round spec
+          | None -> Scenario.run ~probe ~on_round ~shards spec
         in
         let result = outcome.Scenario.result in
         (match (trace_oc, trace) with
@@ -354,7 +364,7 @@ let run_cmd =
     Term.(
       const action $ spec_file $ dump_spec $ smoke $ family $ algo_name $ n
       $ depth $ params $ k_arg $ seed_arg $ max_rounds $ scale $ rss $ trace
-      $ watch $ metrics $ tree_file $ dump_tree)
+      $ watch $ metrics $ tree_file $ dump_tree $ shards)
   in
   Cmd.v
     (Cmd.info "run"
@@ -490,7 +500,17 @@ let sweep_cmd =
             "Record per-worker queue-wait and job-latency histograms and print \
              them (plus the merged aggregate) after the sweep.")
   in
-  let action families algos ks jobs n depth repeats seed out metrics =
+  let seed_batch_arg =
+    Arg.(
+      value & flag
+      & info [ "seed-batch" ]
+          ~doc:
+            "Run each (family, algo, k) cell's repeat seeds as one lockstep \
+             seed batch instead of R independent jobs. Results are \
+             bit-for-bit identical to the per-job sweep; deterministic cells \
+             collapse to a single execution per cell.")
+  in
+  let action families algos ks jobs n depth repeats seed out metrics seed_batch =
     let split_csv s = String.split_on_char ',' s |> List.map String.trim in
     let ks =
       List.map
@@ -519,23 +539,36 @@ let sweep_cmd =
           Printf.eprintf "warning: unknown tree world %S (of: %s)\n" f
             (names World_registry.tree_names))
       families;
-    let specs =
+    (* One base spec per (family, algo, k) cell; the flat job list expands
+       each cell into its repeat seeds, keeping them consecutive (the table
+       code below relies on that order). *)
+    let cells =
       List.concat_map
         (fun family ->
           List.concat_map
             (fun algo ->
-              List.concat_map
+              List.map
                 (fun k ->
-                  List.init repeats (fun r ->
-                      Job.make ~algo ~k ~seed:(seed + r)
-                        (Job.Generated { family; n; depth_hint = depth })))
+                  Job.make ~algo ~k ~seed
+                    (Job.Generated { family; n; depth_hint = depth }))
                 ks)
             algos)
         families
     in
+    let specs =
+      List.concat_map
+        (fun (cell : Job.t) ->
+          List.init repeats (fun r -> { cell with Job.seed = seed + r }))
+        cells
+    in
     let total = List.length specs in
-    Printf.eprintf "sweep: %d jobs on %d worker(s) (%d core(s))\n%!" total jobs
-      (Domain.recommended_domain_count ());
+    if seed_batch then
+      Printf.eprintf "sweep: %d jobs as %d seed batches of %d\n%!" total
+        (List.length cells) repeats
+    else
+      Printf.eprintf "sweep: %d jobs on %d worker(s) (%d core(s))\n%!" total
+        jobs
+        (Domain.recommended_domain_count ());
     (* One registry per worker: each worker domain records its own
        latency histograms without locking; merged after the drain. *)
     let worker_regs =
@@ -547,11 +580,40 @@ let sweep_cmd =
     in
     let t0 = Batch.now () in
     let results =
-      Batch.run ~probe ~workers:jobs
-        ~progress:(fun ~completed ~total ->
-          if completed mod 10 = 0 || completed = total then
-            Printf.eprintf "\r  %d/%d%!" completed total)
-        specs
+      if seed_batch then begin
+        (* One lockstep batch per cell, expanded back into the per-job
+           result shape so the table, aggregate and report code below is
+           oblivious to how the jobs were executed — the batch oracle
+           guarantees the rows are byte-identical either way. *)
+        let total_cells = List.length cells in
+        let completed = ref 0 in
+        List.concat_map
+          (fun (cell : Job.t) ->
+            let batched = { cell with Job.batch_seeds = repeats } in
+            let rows =
+              match Seed_batch.run batched with
+              | report ->
+                  Array.to_list
+                    (Array.mapi
+                       (fun l o -> (Scenario.unbatch batched l, Ok o))
+                       report.Seed_batch.outcomes)
+              | exception e ->
+                  List.init repeats (fun l ->
+                      ( Scenario.unbatch batched l,
+                        Error (Printexc.to_string e) ))
+            in
+            incr completed;
+            if !completed mod 5 = 0 || !completed = total_cells then
+              Printf.eprintf "\r  %d/%d cells%!" !completed total_cells;
+            rows)
+          cells
+      end
+      else
+        Batch.run ~probe ~workers:jobs
+          ~progress:(fun ~completed ~total ->
+            if completed mod 10 = 0 || completed = total then
+              Printf.eprintf "\r  %d/%d%!" completed total)
+          specs
     in
     Printf.eprintf "\n%!";
     let wall = Batch.now () -. t0 in
@@ -642,7 +704,7 @@ let sweep_cmd =
   let term =
     Term.(
       const action $ families_arg $ algos_arg $ ks_arg $ jobs_arg $ n $ depth
-      $ repeats $ seed_arg $ out $ metrics_arg)
+      $ repeats $ seed_arg $ out $ metrics_arg $ seed_batch_arg)
   in
   Cmd.v
     (Cmd.info "sweep"

@@ -13,6 +13,7 @@ type t = Scenario.t = {
   max_rounds : int option;
   metrics : bool;
   faults : Bfdn_scenario.Param.binding list;
+  batch_seeds : int;
 }
 
 type outcome = Scenario.outcome = {

@@ -32,6 +32,9 @@ type t = Scenario.t = {
   faults : Bfdn_scenario.Param.binding list;
       (** fault-injection schedule ({!Bfdn_scenario.Fault_spec} schema);
           compiled to the same deterministic plan in every worker *)
+  batch_seeds : int;
+      (** always 1 for engine jobs — multi-seed specs run through
+          {!Seed_batch}, not the per-job pool *)
 }
 
 type outcome = Scenario.outcome = {

@@ -19,6 +19,10 @@ type t = {
   max_rounds : int option;
   metrics : bool;
   faults : Param.binding list;
+  batch_seeds : int;
+      (* S >= 1: the spec stands for the S seeds [seed, seed + S).
+         1 (the default, and the only value [run] executes directly)
+         keeps the wire form byte-identical to pre-batch specs. *)
 }
 
 type outcome = {
@@ -35,7 +39,7 @@ let canon_instance = function
       Adversarial { policy; params = Param.canon params }
 
 let make ?(algo = "bfdn") ?(algo_params = []) ?(k = 8) ?(seed = 0) ?max_rounds
-    ?(metrics = false) ?(faults = []) instance =
+    ?(metrics = false) ?(faults = []) ?(batch_seeds = 1) instance =
   {
     instance = canon_instance instance;
     algo;
@@ -45,7 +49,18 @@ let make ?(algo = "bfdn") ?(algo_params = []) ?(k = 8) ?(seed = 0) ?max_rounds
     max_rounds;
     metrics;
     faults = Param.canon faults;
+    batch_seeds;
   }
+
+(* Lane [i] of a batched spec: the plain spec the batch engine's result
+   for seed [seed + i] must be byte-identical to (the batch determinism
+   oracle). Total order over lanes is the seed order. *)
+let unbatch t i =
+  if i < 0 || i >= t.batch_seeds then
+    invalid_arg
+      (Printf.sprintf "Scenario.unbatch: lane %d out of range (batch of %d)" i
+         t.batch_seeds);
+  { t with batch_seeds = 1; seed = t.seed + i }
 
 let world ?(params = []) name = World { world = name; params }
 
@@ -90,9 +105,13 @@ let describe t =
     if t.faults = [] then ""
     else Printf.sprintf " faults(%s)" (Param.bindings_to_string t.faults)
   in
-  Printf.sprintf "%s/%s k=%d seed=%d%s%s" inst
+  let batch =
+    if t.batch_seeds = 1 then ""
+    else Printf.sprintf " batch=%d" t.batch_seeds
+  in
+  Printf.sprintf "%s/%s k=%d seed=%d%s%s%s" inst
     (with_params t.algo t.algo_params)
-    t.k t.seed cap flt
+    t.k t.seed cap flt batch
 
 let equal (a : t) (b : t) = a = b
 let equal_outcome (a : outcome) (b : outcome) = a = b
@@ -188,6 +207,10 @@ let validate t =
   in
   let* () = if t.k >= 1 then Ok () else Error "k must be >= 1" in
   let* () = Fault_spec.validate ~k:t.k t.faults in
+  let* () =
+    if t.batch_seeds >= 1 && t.batch_seeds <= 65536 then Ok ()
+    else Error "batch seeds must be in [1, 65536]"
+  in
   match t.max_rounds with
   | Some m when m < 1 -> Error "max_rounds must be >= 1"
   | _ -> Ok ()
@@ -205,10 +228,10 @@ let validate t =
 let schema_version = 1
 
 (* Version 2 extends the vocabulary (graph/grid worlds, async-only
-   algorithms) without changing the member shape. It is emitted only for
-   specs that need it, so every version-1 spec — and its fingerprint,
-   the serve cache key — stays byte-identical (pinned by the wire-shape
-   golden test). The parser accepts both. *)
+   algorithms, seed batches) without changing the member shape. It is
+   emitted only for specs that need it, so every version-1 spec — and
+   its fingerprint, the serve cache key — stays byte-identical (pinned
+   by the wire-shape golden test). The parser accepts both. *)
 let schema_version_graph = 2
 
 let wire_version t =
@@ -225,7 +248,8 @@ let wire_version t =
     | Some e -> e.Algo_registry.make_tree = None
     | None -> false
   in
-  if graph_world || non_tree_algo then schema_version_graph
+  if graph_world || non_tree_algo || t.batch_seeds > 1 then
+    schema_version_graph
   else schema_version
 
 let named name params =
@@ -249,12 +273,18 @@ let to_json t =
     if t.faults = [] then []
     else [ ("faults", Param.to_json t.faults) ]
   in
+  (* Same policy for "batch": a 1-seed batch IS the plain spec, on the
+     wire and in the cache (their fingerprints coincide by design). *)
+  let batch_field =
+    if t.batch_seeds = 1 then []
+    else [ ("batch", Json.Obj [ ("seeds", Json.Int t.batch_seeds) ]) ]
+  in
   Json.Obj
     ([ ("schema_version", Json.Int (wire_version t));
        instance_field;
        ("algo", named t.algo t.algo_params);
      ]
-    @ faults_field
+    @ faults_field @ batch_field
     @ [ ("k", Json.Int t.k); ("seed", Json.Int t.seed) ]
     @ tail)
 
@@ -320,7 +350,26 @@ let of_json j =
         | Ok params -> Ok params
         | Error msg -> Error (Printf.sprintf "faults params: %s" msg))
   in
-  Ok { instance; algo; algo_params; k; seed; max_rounds; metrics; faults }
+  let* batch_seeds =
+    match Json.member "batch" j with
+    | None -> Ok 1
+    | Some bj -> (
+        match int_field bj "seeds" with
+        | Ok s -> Ok s
+        | Error msg -> Error ("batch: " ^ msg))
+  in
+  Ok
+    {
+      instance;
+      algo;
+      algo_params;
+      k;
+      seed;
+      max_rounds;
+      metrics;
+      faults;
+      batch_seeds;
+    }
 
 let to_string t = Json.to_string (to_json t)
 
@@ -478,8 +527,9 @@ let checked t =
    every execution of a spec injects the identical schedule. *)
 let fault_plan t root = Fault_spec.plan ~rng:(fault_stream root) ~k:t.k t.faults
 
-let instantiate ~probe ~rng ?fault t env =
-  Algo_registry.instantiate ~probe ~rng ~params:t.algo_params ?fault t.algo env
+let instantiate ~probe ~rng ?fault ?shard_pool t env =
+  Algo_registry.instantiate ~probe ~rng ~params:t.algo_params ?fault ?shard_pool
+    t.algo env
 
 (* The tree path wraps the scenario-level [on_round] (which receives the
    uniform execution view) back into Runner's [Env.t] callback; when no
@@ -532,8 +582,29 @@ let run_async ~probe ~on_round ~root ~fault_hook t tree =
     max_degree = stats.max_degree;
   }
 
-let run ?(probe = Probe.noop) ?on_round t =
+(* [shards]: an advisory, non-wire execution hint — sharding is
+   bit-for-bit invisible in results (asserted by the determinism suite),
+   so it lives beside [probe]/[on_round] rather than in the spec. The
+   domain team is created for the run and torn down with it. *)
+let run ?(probe = Probe.noop) ?on_round ?shards t =
   checked t;
+  if t.batch_seeds > 1 then
+    invalid_arg
+      ("Scenario.run: batched spec (batch.seeds = "
+      ^ string_of_int t.batch_seeds
+      ^ "); execute it with Seed_batch.run (lib/engine), or run one lane \
+         via unbatch: "
+      ^ describe t);
+  let pool =
+    match shards with
+    | Some s when s > 1 -> Some (Bfdn_util.Shard_pool.create ~shards:s)
+    | _ -> None
+  in
+  Fun.protect ~finally:(fun () ->
+      match pool with
+      | Some p -> Bfdn_util.Shard_pool.shutdown p
+      | None -> ())
+  @@ fun () ->
   let root = Rng.create t.seed in
   let fault = fault_plan t root in
   let fault_hook = Bfdn_faults.Injector.hook_opt fault in
@@ -578,7 +649,10 @@ let run ?(probe = Probe.noop) ?on_round t =
                 in
                 Env.create tree ~k:t.k ~probe ~fault:fault_hook
           in
-          let algo = instantiate ~probe ~rng:(algo_stream root) ?fault t env in
+          let algo =
+            instantiate ~probe ~rng:(algo_stream root) ?fault ?shard_pool:pool
+              t env
+          in
           let result =
             Runner.run ?max_rounds:t.max_rounds
               ?on_round:(tree_on_round ~on_round ~algo env)
@@ -599,7 +673,10 @@ let run ?(probe = Probe.noop) ?on_round t =
       let env =
         Env.of_world (Adversary.world adv) ~k:t.k ~probe ~fault:fault_hook
       in
-      let algo = instantiate ~probe ~rng:(algo_stream root) ?fault t env in
+      let algo =
+        instantiate ~probe ~rng:(algo_stream root) ?fault ?shard_pool:pool t
+          env
+      in
       let result =
         Runner.run ?max_rounds:t.max_rounds
           ?on_round:(tree_on_round ~on_round ~algo env)

@@ -42,6 +42,13 @@ type t = {
           [[]] = no faults. Compiled at run time into a
           {!Bfdn_faults.Fault_plan} from the seed's dedicated fault
           stream, so the schedule replays identically everywhere. *)
+  batch_seeds : int;
+      (** S >= 1: the spec stands for the S consecutive seeds
+          [seed, seed + S), executed in lockstep by the batch engine
+          ([Bfdn_engine.Seed_batch]). [1] (the default) is the plain
+          single-seed spec, byte-identical on the wire to pre-batch
+          specs; values above 1 are emitted as a version-2
+          ["batch":{"seeds":S}] member. *)
 }
 
 type outcome = {
@@ -62,10 +69,19 @@ val make :
   ?max_rounds:int ->
   ?metrics:bool ->
   ?faults:Param.binding list ->
+  ?batch_seeds:int ->
   instance ->
   t
 (** Defaults: [algo="bfdn"], [k=8], [seed=0], no round cap, no metrics,
-    no faults. Parameter bindings are canonicalized (sorted). *)
+    no faults, [batch_seeds=1]. Parameter bindings are canonicalized
+    (sorted). *)
+
+val unbatch : t -> int -> t
+(** [unbatch t i] is lane [i] of a batched spec: [batch_seeds = 1],
+    [seed = t.seed + i]. The batch engine's outcome for lane [i] is
+    byte-identical to [run (unbatch t i)] — the batch determinism
+    oracle, asserted by the batch test suite.
+    @raise Invalid_argument unless [0 <= i < t.batch_seeds]. *)
 
 val world : ?params:Param.binding list -> string -> instance
 
@@ -131,9 +147,40 @@ val registry_json : unit -> Bfdn_obs.Json.t
 
 (** {2 Execution} *)
 
+(** {3 RNG stream derivation}
+
+    The load-bearing seed derivation, shared verbatim with the batch
+    engine so a batched lane and a plain run consume identical streams:
+    [root = Rng.create seed], then split index 0 = instance stream,
+    1 = algorithm stream, 2 = fault stream ({!Bfdn_util.Rng.split} is
+    pure, so requesting one stream never perturbs another). *)
+
+val instance_stream : Bfdn_util.Rng.t -> Bfdn_util.Rng.t
+val algo_stream : Bfdn_util.Rng.t -> Bfdn_util.Rng.t
+val fault_stream : Bfdn_util.Rng.t -> Bfdn_util.Rng.t
+
+val fault_plan :
+  t -> Bfdn_util.Rng.t -> Bfdn_faults.Fault_plan.t option
+(** Compile the spec's fault schedule from the root stream ([None] when
+    [faults = []], drawing nothing). Re-derivable anywhere the run is
+    (re-)executed, so every execution injects the identical schedule. *)
+
+val instantiate :
+  probe:Bfdn_obs.Probe.t ->
+  rng:Bfdn_util.Rng.t ->
+  ?fault:Bfdn_faults.Fault_plan.t ->
+  ?shard_pool:Bfdn_util.Shard_pool.t ->
+  t ->
+  Bfdn_sim.Env.t ->
+  Bfdn_sim.Runner.algo
+(** Construct the spec's algorithm on a prepared tree environment —
+    {!Algo_registry.instantiate} with the spec's name and parameters.
+    [rng] must be the spec's algorithm stream for the run to replay. *)
+
 val run :
   ?probe:Bfdn_obs.Probe.t ->
   ?on_round:(Bfdn_sim.Exec_env.t -> unit) ->
+  ?shards:int ->
   t ->
   outcome
 (** Execute the spec — the single executor for every world kind. Derive
@@ -150,7 +197,16 @@ val run :
     receives the uniform {!Bfdn_sim.Exec_env.t} execution view on every
     path (on the tree path it is a wrapper over the live [Env.t], built
     only when an observer is installed).
-    @raise Invalid_argument when {!validate} fails. *)
+
+    [shards] (advisory, not part of the spec) spreads the
+    route-computation pass of algorithms with a sharded phase over
+    [shards] domains ({!Bfdn_util.Shard_pool}); results are bit-for-bit
+    identical for every value, so it is a pure latency knob for big
+    single runs. Ignored on graph/async paths and by algorithms without
+    a sharded phase.
+    @raise Invalid_argument when {!validate} fails, and for batched
+    specs ([batch_seeds > 1] — execute those with the batch engine's
+    [Seed_batch.run], or lane-by-lane via {!unbatch}). *)
 
 val materialize : t -> Bfdn_trees.Tree.t
 (** The hidden tree [run] would explore, generated from the same

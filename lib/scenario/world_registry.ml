@@ -236,6 +236,15 @@ let build_graph ?rng ?(params = []) name =
 let scale_of_params params =
   Param.get_string ~schema:tree_params params "scale"
 
+(* Seed-independence of the hidden world: true only for eagerly built
+   tree families whose generator ignores its rng, i.e. exactly the specs
+   where every seed of a batch would rebuild the identical tree. *)
+let deterministic_tree ?(params = []) name =
+  match find name with
+  | Some { kind = Tree _; _ } ->
+      Tree_gen.deterministic_family name && scale_of_params params = "eager"
+  | _ -> false
+
 let build_lazy ?(seed = 0) ?(params = []) name =
   match find name with
   | None -> invalid_arg ("World_registry: unknown world " ^ name)

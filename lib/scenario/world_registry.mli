@@ -67,6 +67,13 @@ val scale_of_params : Param.binding list -> string
     Value checking is the caller's job ({!Scenario.validate} rejects
     anything else). *)
 
+val deterministic_tree : ?params:Param.binding list -> string -> bool
+(** Whether the named world is an eagerly built tree whose generator
+    ignores the instance RNG stream
+    ({!Bfdn_trees.Tree_gen.deterministic_family}) — exactly the worlds
+    where every seed of one spec hides the identical tree, so a seed
+    batch may build it once and share it. *)
+
 val build_lazy :
   ?seed:int -> ?params:Param.binding list -> string ->
   Bfdn_sim.Lazy_world.t

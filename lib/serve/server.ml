@@ -8,6 +8,7 @@ module Log = Bfdn_obs.Log
 module Prometheus = Bfdn_obs.Prometheus
 module Clock = Bfdn_util.Clock
 module Pool = Bfdn_engine.Pool
+module Seed_batch = Bfdn_engine.Seed_batch
 module Scenario = Bfdn_scenario.Scenario
 module Trace = Bfdn_sim.Trace
 module Q = Queue_admission
@@ -263,10 +264,60 @@ let exec t (job : Q.job) =
       Mutex.unlock t.jobs_m;
       Q.settle t.adm job st
     in
-    match Scenario.run ~probe ~on_round job.Q.spec with
-    | outcome ->
+    (* Batched specs fan out through the batch engine: one admission
+       ticket, one execute span, S lockstep lanes. Each lane's outcome
+       is streamed as it is known and cached under the lane's own
+       (unbatched) fingerprint, so a later plain request for any single
+       seed is a cache hit; the combined body is cached under the batch
+       fingerprint by the common path below. *)
+    let run_batched () =
+      let spec = job.Q.spec in
+      let tick ~round:_ ~active:_ =
+        if Clock.now_ns () > deadline then begin
+          job.Q.timed_out <- true;
+          Pool.cancel job.Q.token
+        end;
+        Pool.check job.Q.token
+      in
+      let report = Seed_batch.run ~probe ~tick spec in
+      let lanes =
+        Array.mapi
+          (fun l outcome ->
+            let lane_fp = Scenario.fingerprint (Scenario.unbatch spec l) in
+            let oj = Scenario.outcome_to_json outcome in
+            Result_cache.put t.cache lane_fp (Json.to_string oj);
+            let row =
+              Json.Obj
+                [
+                  ("seed", Json.Int (spec.Scenario.seed + l));
+                  ("fingerprint", Json.String lane_fp);
+                  ("outcome", oj);
+                ]
+            in
+            Stream.push job.Q.stream row;
+            Ring.push job.Q.frames row;
+            row)
+          report.Seed_batch.outcomes
+      in
+      Json.to_string
+        (Json.Obj
+           [
+             ("seeds", Json.Int spec.Scenario.batch_seeds);
+             ("lockstep", Json.Bool report.Seed_batch.lockstep);
+             ("shared_world", Json.Bool report.Seed_batch.shared_world);
+             ("collapsed", Json.Bool report.Seed_batch.collapsed);
+             ("outcomes", Json.List (Array.to_list lanes));
+           ])
+    in
+    let execute () =
+      if job.Q.spec.Scenario.batch_seeds > 1 then run_batched ()
+      else
+        Json.to_string
+          (Scenario.outcome_to_json (Scenario.run ~probe ~on_round job.Q.spec))
+    in
+    match execute () with
+    | body ->
         finish_exe "done";
-        let body = Json.to_string (Scenario.outcome_to_json outcome) in
         Result_cache.put t.cache job.Q.fingerprint body;
         (* Fault-tolerant runs that lost robots finish, but are exactly
            the runs an operator wants a bundle for. *)

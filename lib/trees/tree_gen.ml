@@ -269,6 +269,16 @@ let families =
     "broom"; "random"; "random-deep"; "bounded3"; "trap"; "hidden-path";
   ]
 
+(* The families whose generator never reads [rng]: [of_family] is a pure
+   function of [(name, n, depth_hint)] for these, so distinct seeds of
+   one spec share a single hidden tree. The batch engine relies on this
+   to build (and stat) one world for a whole seed batch; the claim is
+   asserted per family by a generator test. *)
+let randomized_families = [ "random"; "random-deep"; "bounded3" ]
+
+let deterministic_family name =
+  List.mem name families && not (List.mem name randomized_families)
+
 let of_family name ~rng ~n ~depth_hint =
   let n = max 1 n in
   let d = max 1 depth_hint in

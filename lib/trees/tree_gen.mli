@@ -93,3 +93,11 @@ val of_family :
 
 val families : string list
 (** All names accepted by {!of_family}. *)
+
+val deterministic_family : string -> bool
+(** Whether the family's generator ignores its [rng] — i.e.
+    {!of_family} is a pure function of [(name, n, depth_hint)], so
+    every seed of a spec on this family explores the {e same} hidden
+    tree. [false] for the randomized families ([random], [random-deep],
+    [bounded3]) and for unknown names. The batch engine uses this to
+    share one world across a seed batch. *)

@@ -27,6 +27,7 @@ let split t i =
   { state = mix64 (mix64 z) }
 
 let copy t = { state = t.state }
+let equal a b = Int64.equal a.state b.state
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

@@ -21,6 +21,13 @@ val split : t -> int -> t
 val copy : t -> t
 (** [copy t] duplicates the current state without advancing [t]. *)
 
+val equal : t -> t -> bool
+(** State equality. Every draw advances the state, so
+    [equal before after] over a bracketed computation proves the
+    computation drew nothing — the batch engine uses this to detect
+    draw-free algorithm runs (whose sibling seeds are then provably
+    identical). *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

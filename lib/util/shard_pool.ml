@@ -1,0 +1,124 @@
+(* A persistent team of domains for sharding one data-parallel phase of
+   a hot loop. Unlike the batch engine's job pool (lib/engine/Pool),
+   which queues heterogeneous closures, this pool re-runs ONE indexed
+   function over contiguous chunks every invocation, round after round:
+   the domains stay warm across thousands of [run] calls, so the
+   per-round cost is two lock/broadcast handshakes, not a domain spawn.
+
+   Chunking is positional and deterministic — shard [w] always owns
+   indices [n*w/s, n*(w+1)/s) — so any per-index writes land in the same
+   slots regardless of scheduling. The caller participates as shard 0,
+   keeping a 2-shard pool at one spawned domain. *)
+
+type t = {
+  shards : int;
+  mutex : Mutex.t;
+  work : Condition.t;
+  finished : Condition.t;
+  mutable gen : int; (* bumped once per [run]; workers key off it *)
+  mutable n : int;
+  mutable f : int -> unit;
+  mutable remaining : int;
+  mutable failure : exn option; (* first worker exception, re-raised by [run] *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let chunk ~n ~shards w = (n * w / shards, n * (w + 1) / shards)
+
+let run_chunk t w =
+  let lo, hi = chunk ~n:t.n ~shards:t.shards w in
+  for i = lo to hi - 1 do
+    t.f i
+  done
+
+let worker t w () =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while t.gen = !seen && not t.stop do
+      Condition.wait t.work t.mutex
+    done;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      running := false
+    end
+    else begin
+      seen := t.gen;
+      Mutex.unlock t.mutex;
+      (try run_chunk t w
+       with e ->
+         Mutex.lock t.mutex;
+         if t.failure = None then t.failure <- Some e;
+         Mutex.unlock t.mutex);
+      Mutex.lock t.mutex;
+      t.remaining <- t.remaining - 1;
+      if t.remaining = 0 then Condition.signal t.finished;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let create ~shards =
+  if shards < 1 then invalid_arg "Shard_pool.create: shards must be >= 1";
+  let t =
+    {
+      shards;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      gen = 0;
+      n = 0;
+      f = ignore;
+      remaining = 0;
+      failure = None;
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (shards - 1) (fun w -> Domain.spawn (worker t (w + 1)));
+  t
+
+let shards t = t.shards
+
+let noop = ignore
+
+let run t ~n f =
+  if t.shards = 1 || n <= 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    Mutex.lock t.mutex;
+    t.n <- n;
+    t.f <- f;
+    t.remaining <- t.shards - 1;
+    t.gen <- t.gen + 1;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    (* The caller is shard 0: on a machine with [shards] free cores all
+       chunks progress concurrently; on fewer cores the scheduler
+       time-slices and the result is identical (chunks never overlap). *)
+    run_chunk t 0;
+    Mutex.lock t.mutex;
+    while t.remaining > 0 do
+      Condition.wait t.finished t.mutex
+    done;
+    (* Break the reference to the caller's closure so it can be
+       collected between rounds. *)
+    t.f <- noop;
+    let fail = t.failure in
+    t.failure <- None;
+    Mutex.unlock t.mutex;
+    match fail with None -> () | Some e -> raise e
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if not t.stop then begin
+    t.stop <- true;
+    Condition.broadcast t.work
+  end;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []

@@ -1,0 +1,29 @@
+(** Persistent domain team for sharding a data-parallel phase.
+
+    [run] partitions the index range over a fixed set of warm domains
+    with deterministic contiguous chunks, so a phase whose per-index
+    work is independent (no shared mutable state across indices) can be
+    spread over cores {e without} changing any observable result: shard
+    [w] always owns indices [n*w/shards, n*(w+1)/shards), and the
+    caller blocks until every chunk has finished. The simulator uses
+    this for the route-computation pass of BFDN's select phase, keeping
+    1-shard and N-shard runs bit-for-bit identical. *)
+
+type t
+
+val create : shards:int -> t
+(** Spawn [shards - 1] worker domains ([shards >= 1]); the calling
+    domain acts as shard 0 during {!run}. A 1-shard pool spawns nothing
+    and [run] degenerates to a plain loop. *)
+
+val shards : t -> int
+
+val run : t -> n:int -> (int -> unit) -> unit
+(** [run t ~n f] applies [f] to every index in [0, n), sharded. [f]
+    must be safe to call concurrently on distinct indices. Worker
+    exceptions are re-raised here (first one wins) after all chunks
+    settle. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Idempotent. [run] must not be
+    called afterwards. *)

@@ -23,5 +23,6 @@ let () =
       Test_engine.suite;
       Test_scenario.suite;
       Test_faults.suite;
+      Test_batch.suite;
       Test_serve.suite;
     ]

@@ -751,6 +751,53 @@ let test_e2e_tracing_disabled () =
             (Json.member "spans" j = Some (Json.List []))
       | Error e -> Alcotest.fail e)
 
+(* One admission ticket for a batched spec fans out to S cached lane
+   fingerprints plus the batch body under its own fingerprint. *)
+let test_e2e_batched_fanout () =
+  with_server (fun port ->
+      let batched = { spec_small with Scenario.batch_seeds = 4 } in
+      let resp = post_run port (Scenario.to_string batched) in
+      checki "batched submission runs" 200 resp.Client.status;
+      checkb "marked miss" true
+        (member_string "cache" resp.Client.body = Some "miss");
+      (match Json.of_string resp.Client.body with
+      | Ok j -> (
+          match Json.member "result" j with
+          | Some r -> (
+              match Json.member "outcomes" r with
+              | Some (Json.List lanes) ->
+                  checki "one row per lane" 4 (List.length lanes);
+                  List.iteri
+                    (fun l row ->
+                      let expected =
+                        Json.to_string
+                          (Scenario.outcome_to_json
+                             (Scenario.run (Scenario.unbatch batched l)))
+                      in
+                      match Json.member "outcome" row with
+                      | Some o ->
+                          checks
+                            (Printf.sprintf "lane %d = sequential run" l)
+                            expected (Json.to_string o)
+                      | None -> Alcotest.fail "lane row missing outcome")
+                    lanes
+              | _ -> Alcotest.fail "no outcomes list in batch result")
+          | None -> Alcotest.fail "no result member")
+      | Error e -> Alcotest.fail e);
+      (* every lane's plain single-seed spec is now a cache hit *)
+      for l = 0 to 3 do
+        let lane_wire = Scenario.to_string (Scenario.unbatch batched l) in
+        checkb
+          (Printf.sprintf "lane %d spec hits the cache" l)
+          true
+          (member_string "cache" (post_run port lane_wire).Client.body
+          = Some "hit")
+      done;
+      checkb "batch resubmission hits" true
+        (member_string "cache"
+           (post_run port (Scenario.to_string batched)).Client.body
+        = Some "hit"))
+
 let suite =
   ( "serve",
     [
@@ -792,4 +839,6 @@ let suite =
         test_e2e_timeout_postmortem;
       Alcotest.test_case "e2e tracing disabled degrades cleanly" `Quick
         test_e2e_tracing_disabled;
+      Alcotest.test_case "e2e batched spec fans out to lane cache" `Quick
+        test_e2e_batched_fanout;
     ] )
